@@ -1,0 +1,27 @@
+package esg_test
+
+import (
+	"time"
+
+	esg "github.com/esg-sched/esg"
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+// searchInput builds the §5.3-style search input: the first g stages of
+// the expanded image classification app over the 256-config space, with the
+// group's share of the moderate SLO as target.
+func searchInput(g int) esg.SearchInput {
+	reg := esg.Table3Registry()
+	oracle := esg.NewOracle(reg, esg.DefaultSpace(), esg.DefaultPricing())
+	app := esg.ExpandedImageClassificationApp()
+	tables := make([]*profile.FunctionTable, g)
+	var gslo time.Duration
+	for i := 0; i < g; i++ {
+		fn := app.Stage(i).Function
+		tables[i] = oracle.MustTable(fn)
+		gslo += reg.MustLookup(fn).BaseExec
+	}
+	return esg.SearchInput{Tables: tables, GSLO: gslo, K: 5}
+}
+
+func benchSearch(in esg.SearchInput) esg.SearchResult { return esg.Search(in) }

@@ -1,0 +1,95 @@
+// Command esgbench regenerates the tables and figures of the paper's
+// evaluation section (§5). Each subcommand reproduces one artifact; "all"
+// reproduces everything, sharing scenario runs across artifacts.
+//
+// Usage:
+//
+//	esgbench [flags] all
+//	esgbench [flags] table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sec53
+//
+// Flags:
+//
+//	-seed N    random seed (default 42)
+//	-scale F   trace-size multiplier; 1.0 is the full evaluation (default 1.0)
+//	-quiet     suppress per-scenario progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/esg-sched/esg/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 42, "random seed")
+		scale = flag.Float64("scale", 1.0, "trace-size multiplier (1.0 = full evaluation)")
+		quiet = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53")
+		os.Exit(2)
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"table1", "table3", "fig5", "fig6", "fig7", "fig8",
+			"table4", "fig9", "fig10", "fig11", "fig12", "sec53"}
+	}
+
+	r := experiments.NewRunner(*seed, *scale)
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	r.Log = progress
+
+	start := time.Now()
+	for _, target := range targets {
+		table, err := run(r, target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esgbench: %s: %v\n", target, err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "total wall time: %.1fs\n", time.Since(start).Seconds())
+	}
+}
+
+func run(r *experiments.Runner, target string) (*experiments.Table, error) {
+	switch target {
+	case "table1":
+		return experiments.Table1(), nil
+	case "table3":
+		return experiments.Table3(), nil
+	case "table4":
+		return experiments.Table4(r)
+	case "fig5":
+		return experiments.Fig5(r), nil
+	case "fig6":
+		return experiments.Fig6(r)
+	case "fig7":
+		return experiments.Fig7(r)
+	case "fig8":
+		return experiments.Fig8(r)
+	case "fig9":
+		return experiments.Fig9(r)
+	case "fig10":
+		return experiments.Fig10(r)
+	case "fig11":
+		return experiments.Fig11(r)
+	case "fig12":
+		return experiments.Fig12(r)
+	case "sec53":
+		return experiments.Sec53(), nil
+	default:
+		return nil, fmt.Errorf("unknown target (want all, table1, table3, table4, fig5..fig12, sec53)")
+	}
+}

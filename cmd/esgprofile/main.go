@@ -1,0 +1,83 @@
+// Command esgprofile inspects the performance-profile substrate: the
+// modelled execution time and cost of a function across its configuration
+// space, the Pareto frontier the schedulers trade over, and per-application
+// baseline latencies and SLOs.
+//
+// Usage:
+//
+//	esgprofile -fn deblur -top 15        # cheapest configs of one function
+//	esgprofile -fn deblur -fastest       # fastest configs instead
+//	esgprofile -apps                     # application L and SLO table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/esg-sched/esg/internal/pricing"
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+func main() {
+	var (
+		fnName  = flag.String("fn", "", "function to inspect (see -list)")
+		top     = flag.Int("top", 12, "number of configurations to print")
+		fastest = flag.Bool("fastest", false, "sort by latency instead of per-job cost")
+		list    = flag.Bool("list", false, "list available functions")
+		apps    = flag.Bool("apps", false, "print application baseline latencies and SLOs")
+	)
+	flag.Parse()
+
+	reg := profile.Table3Registry()
+	oracle := profile.NewOracle(reg, profile.DefaultSpace(), pricing.Default())
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	switch {
+	case *list:
+		fmt.Fprintln(w, "function\tmodel\texec(min cfg)\tcold start\tinput MB")
+		for _, name := range reg.Names() {
+			fn := reg.MustLookup(name)
+			fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%.3f\n", fn.Name, fn.Model, fn.BaseExec, fn.ColdStart, fn.InputMB)
+		}
+	case *apps:
+		fmt.Fprintln(w, "application\tstages\tL (ms)\tstrict SLO\tmoderate SLO\trelaxed SLO")
+		for _, app := range workflow.EvaluationApps() {
+			l := app.BaselineLatency(reg)
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n", app.Name, app.Len(),
+				l/time.Millisecond,
+				workflow.SLOFor(app, workflow.Strict, reg)/time.Millisecond,
+				workflow.SLOFor(app, workflow.Moderate, reg)/time.Millisecond,
+				workflow.SLOFor(app, workflow.Relaxed, reg)/time.Millisecond)
+		}
+	case *fnName != "":
+		table, ok := oracle.Table(*fnName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "esgprofile: unknown function %q (try -list)\n", *fnName)
+			os.Exit(1)
+		}
+		ests := table.ByJobCost
+		order := "per-job cost"
+		if *fastest {
+			ests = table.ByLatency
+			order = "latency"
+		}
+		fmt.Fprintf(w, "%s: %d configurations, sorted by %s\n", *fnName, len(ests), order)
+		fmt.Fprintln(w, "batch\tvCPU\tvGPU\ttask time\tper-job cost\ttask cost")
+		n := *top
+		if n > len(ests) {
+			n = len(ests)
+		}
+		for _, e := range ests[:n] {
+			fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%s\t%s\n",
+				e.Config.Batch, e.Config.CPU, e.Config.GPU, e.Time, e.JobCost, e.TaskCost)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

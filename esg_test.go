@@ -1,0 +1,120 @@
+package esg_test
+
+import (
+	"testing"
+	"time"
+
+	esg "github.com/esg-sched/esg"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	app := esg.ImageClassificationApp()
+	reg := esg.Table3Registry()
+	oracle := esg.NewOracle(reg, esg.DefaultSpace(), esg.DefaultPricing())
+	slo := esg.SLOFor(app, esg.Moderate, reg)
+
+	dist, err := esg.DistributeSLO(app, oracle, 3)
+	if err != nil {
+		t.Fatalf("DistributeSLO: %v", err)
+	}
+	stages, quota := dist.RemainingSequence(app.Entry())
+	if len(stages) != 3 || quota <= 0 || quota > 1 {
+		t.Fatalf("RemainingSequence = %v, %v", stages, quota)
+	}
+
+	res := esg.Search(esg.SearchInput{
+		Tables: esg.StageTables(oracle, app),
+		GSLO:   time.Duration(float64(slo) * quota),
+		K:      5,
+	})
+	if !res.Feasible || len(res.Paths) == 0 {
+		t.Fatalf("search found no feasible paths at 1.0·L")
+	}
+	if res.Paths[0].Time > slo {
+		t.Errorf("best path time %v exceeds SLO %v", res.Paths[0].Time, slo)
+	}
+	if got := len(res.Paths[0].Configs()); got != 3 {
+		t.Errorf("path has %d configs", got)
+	}
+}
+
+func TestPublicEmulationRun(t *testing.T) {
+	trace := esg.GenerateTrace(esg.Light, 120, 4, 42)
+	cfg := esg.RunConfig{
+		SLOLevel:       esg.Moderate,
+		Noise:          esg.NoNoise(),
+		WarmupFraction: 0.05,
+		WarmupTime:     time.Second,
+	}
+	res, err := esg.Run(cfg, esg.NewESG(), trace)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Unfinished != 0 {
+		t.Errorf("%d unfinished instances", res.Unfinished)
+	}
+	if res.HitRate <= 0 {
+		t.Errorf("hit rate = %v", res.HitRate)
+	}
+	if len(res.PerApp) != 4 {
+		t.Errorf("per-app summaries = %d", len(res.PerApp))
+	}
+}
+
+func TestPublicSchedulerConstructors(t *testing.T) {
+	for _, s := range []esg.Scheduler{
+		esg.NewESG(),
+		esg.NewESG(esg.WithK(10), esg.WithGroupSize(2), esg.WithMargin(0.8)),
+		esg.NewESG(esg.WithoutGPUSharing()),
+		esg.NewESG(esg.WithoutBatching()),
+		esg.NewINFless(),
+		esg.NewFaSTGShare(),
+		esg.NewOrion(),
+		esg.NewAquatope(7),
+	} {
+		if s.Name() == "" {
+			t.Errorf("scheduler with empty name: %T", s)
+		}
+	}
+}
+
+func TestPublicCustomWorkflow(t *testing.T) {
+	fns := esg.Table3Functions()
+	b := esg.NewAppBuilder("custom")
+	s0 := b.Stage(fns[0].Name)
+	s1 := b.Stage(fns[1].Name)
+	s2 := b.Stage(fns[2].Name)
+	s3 := b.Stage(fns[3].Name)
+	b.Edge(s0, s1).Edge(s0, s2).Edge(s1, s3).Edge(s2, s3)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	tree := esg.BuildDominatorTree(app)
+	if !tree.Dominates(s0, s3) {
+		t.Errorf("entry should dominate exit")
+	}
+	oracle := esg.NewOracle(esg.Table3Registry(), esg.SmallSpace(), esg.DefaultPricing())
+	if _, err := esg.DistributeSLO(app, oracle, 2); err != nil {
+		t.Errorf("DistributeSLO on diamond DAG: %v", err)
+	}
+}
+
+func TestPublicBruteForceAgreement(t *testing.T) {
+	oracle := esg.NewOracle(esg.Table3Registry(), esg.SmallSpace(), esg.DefaultPricing())
+	app := esg.ImageClassificationApp()
+	in := esg.SearchInput{
+		Tables: esg.StageTables(oracle, app),
+		GSLO:   600 * time.Millisecond,
+		K:      3,
+	}
+	a, b := esg.Search(in), esg.BruteForceSearch(in)
+	if a.Feasible != b.Feasible || len(a.Paths) != len(b.Paths) {
+		t.Fatalf("search disagree: %d vs %d paths", len(a.Paths), len(b.Paths))
+	}
+	for i := range a.Paths {
+		if a.Paths[i].Cost != b.Paths[i].Cost {
+			t.Errorf("path %d cost %v vs %v", i, a.Paths[i].Cost, b.Paths[i].Cost)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Imagepipeline: an end-to-end emulation of the paper's DNN inference
+// workloads under ESG.
+//
+// Runs the four evaluation applications (§4.1) against a normal workload
+// with moderate SLOs on the emulated 16-node GPU cluster and reports
+// per-application SLO hit rates, latencies and costs — the measurements
+// behind the paper's Figs. 6–8.
+//
+//	go run ./examples/imagepipeline [-requests 1500] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	esg "github.com/esg-sched/esg"
+)
+
+func main() {
+	requests := flag.Int("requests", 1500, "number of application requests")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	trace := esg.GenerateTrace(esg.Normal, *requests, len(esg.EvaluationApps()), *seed)
+	warmup := time.Duration(0.35 * float64(trace.Duration()))
+	cfg := esg.RunConfig{
+		SLOLevel:   esg.Moderate,
+		Noise:      esg.DefaultNoise(),
+		WarmupTime: warmup, // measure the steady back two thirds
+		Seed:       *seed,
+	}
+
+	fmt.Printf("emulating %d requests (%.1f req/s) on %d invokers...\n",
+		*requests, trace.MeanRatePerSecond(), esg.DefaultClusterConfig().Nodes)
+	start := time.Now()
+	res, err := esg.Run(cfg, esg.NewESG(), trace)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\n%-32s %6s %8s %10s %10s %10s\n",
+		"application", "n", "hit", "mean ms", "p95 ms", "SLO ms")
+	for _, a := range res.PerApp {
+		if a.Instances == 0 {
+			continue
+		}
+		fmt.Printf("%-32s %6d %7.1f%% %10.1f %10.1f %10.1f\n",
+			a.Name, a.Instances, 100*a.HitRate, a.MeanLatencyMS, a.P95MS, a.SLOMS)
+	}
+	fmt.Printf("\noverall: %.1f%% SLO hits, total cost %s, %d tasks (%d cold starts)\n",
+		100*res.HitRate, res.TotalCost, res.Tasks, res.ColdStarts)
+	fmt.Printf("cluster: %.1f%% CPU / %.1f%% GPU utilization; wall time %.1fs\n",
+		100*res.UtilCPU, 100*res.UtilGPU, time.Since(start).Seconds())
+}

@@ -1,0 +1,56 @@
+// Quickstart: configure a DNN workflow with ESG_1Q.
+//
+// Builds the paper's image-classification pipeline (super-resolution →
+// segmentation → classification), distributes its SLO with the
+// dominator-based method, and runs the A*+dual-blade-pruning search to find
+// the cheapest configuration paths that meet the objective — the decision
+// ESG makes before dispatching every function (§3.3).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	esg "github.com/esg-sched/esg"
+)
+
+func main() {
+	app := esg.ImageClassificationApp()
+	reg := esg.Table3Registry()
+	oracle := esg.NewOracle(reg, esg.DefaultSpace(), esg.DefaultPricing())
+
+	slo := esg.SLOFor(app, esg.Moderate, reg)
+	fmt.Printf("application: %s (%d stages), SLO %v\n", app.Name, app.Len(), slo)
+
+	// Dominator-based SLO distribution: group the stages and compute the
+	// entry group's share of the budget.
+	dist, err := esg.DistributeSLO(app, oracle, 3)
+	if err != nil {
+		panic(err)
+	}
+	stages, quota := dist.RemainingSequence(app.Entry())
+	fmt.Printf("entry group: stages %v, quota %.2f of the SLO\n\n", stages, quota)
+
+	// ESG_1Q: find the top-K cheapest configuration paths meeting the
+	// group target.
+	res := esg.Search(esg.SearchInput{
+		Tables: esg.StageTables(oracle, app),
+		GSLO:   time.Duration(float64(slo) * quota),
+		K:      5,
+	})
+	if !res.Feasible {
+		fmt.Println("no configuration path meets the SLO")
+		return
+	}
+	fmt.Printf("search expanded %d nodes and found %d feasible paths:\n\n", res.Expanded, len(res.Paths))
+	for i, p := range res.Paths {
+		fmt.Printf("path %d: time %v, per-job cost %s\n", i+1, p.Time.Round(time.Millisecond), p.Cost)
+		for s, est := range p.Ests {
+			fmt.Printf("  stage %d %-18s %-12s task %v\n",
+				s, app.Stage(s).Function, est.Config, est.Time.Round(time.Millisecond))
+		}
+	}
+	fmt.Println("\nESG dispatches the first stage of the cheapest path and re-plans at every stage.")
+}

@@ -1,0 +1,110 @@
+// Schedulerduel: ESG against the four baselines on one scenario.
+//
+// Runs ESG, INFless, FaST-GShare, Orion and Aquatope on the same
+// strict-light workload (the paper's most differentiating setting, §5.1)
+// and prints the Fig.-6-style comparison: SLO hit rate and cost normalized
+// to ESG.
+//
+//	go run ./examples/schedulerduel [-requests 1200] [-workload light] [-slo strict]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	esg "github.com/esg-sched/esg"
+)
+
+func main() {
+	requests := flag.Int("requests", 1200, "number of application requests")
+	level := flag.String("workload", "light", "workload level: heavy, normal, light")
+	slo := flag.String("slo", "strict", "SLO setting: strict, moderate, relaxed")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	lv, sl, err := parse(*level, *slo)
+	if err != nil {
+		panic(err)
+	}
+
+	schedulers := []esg.Scheduler{
+		esg.NewESG(),
+		esg.NewINFless(),
+		esg.NewFaSTGShare(),
+		esg.NewOrion(),
+		esg.NewAquatope(*seed),
+	}
+
+	type row struct {
+		name    string
+		hit     float64
+		cost    esg.Money
+		cold    int
+		latency float64
+	}
+	var rows []row
+	for _, s := range schedulers {
+		trace := esg.GenerateTrace(lv, *requests, len(esg.EvaluationApps()), *seed)
+		cfg := esg.RunConfig{
+			SLOLevel:   sl,
+			Noise:      esg.DefaultNoise(),
+			WarmupTime: time.Duration(0.35 * float64(trace.Duration())),
+			Seed:       *seed,
+		}
+		start := time.Now()
+		res, err := esg.Run(cfg, s, trace)
+		if err != nil {
+			panic(err)
+		}
+		var lat float64
+		var n int
+		for _, a := range res.PerApp {
+			lat += a.MeanLatencyMS * float64(a.Instances)
+			n += a.Instances
+		}
+		if n > 0 {
+			lat /= float64(n)
+		}
+		rows = append(rows, row{s.Name(), res.HitRate, res.TotalCost, res.ColdStarts, lat})
+		fmt.Printf("%-12s done in %5.1fs\n", s.Name(), time.Since(start).Seconds())
+	}
+
+	base := float64(rows[0].cost)
+	if base <= 0 {
+		base = 1
+	}
+	fmt.Printf("\n%s-%s, %d requests:\n\n", *slo, *level, *requests)
+	fmt.Printf("%-12s %10s %12s %12s %8s\n", "scheduler", "SLO hit", "norm. cost", "mean ms", "cold")
+	for _, r := range rows {
+		fmt.Printf("%-12s %9.1f%% %12.2f %12.1f %8d\n",
+			r.name, 100*r.hit, float64(r.cost)/base, r.latency, r.cold)
+	}
+}
+
+func parse(level, slo string) (esg.Level, esg.SLOLevel, error) {
+	var lv esg.Level
+	switch strings.ToLower(level) {
+	case "heavy":
+		lv = esg.Heavy
+	case "normal":
+		lv = esg.Normal
+	case "light":
+		lv = esg.Light
+	default:
+		return 0, 0, fmt.Errorf("unknown workload %q", level)
+	}
+	var sl esg.SLOLevel
+	switch strings.ToLower(slo) {
+	case "strict":
+		sl = esg.Strict
+	case "moderate":
+		sl = esg.Moderate
+	case "relaxed":
+		sl = esg.Relaxed
+	default:
+		return 0, 0, fmt.Errorf("unknown SLO %q", slo)
+	}
+	return lv, sl, nil
+}

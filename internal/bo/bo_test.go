@@ -1,0 +1,148 @@
+package bo
+
+import (
+	"math"
+	"testing"
+
+	"github.com/esg-sched/esg/internal/rng"
+)
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	x := [][]float64{{0}, {0.5}, {1}}
+	y := []float64{1, 2, 0.5}
+	gp, err := FitGP(x, y, 0.3)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	for i := range x {
+		mu, sigma := gp.Predict(x[i])
+		if math.Abs(mu-y[i]) > 0.2 {
+			t.Errorf("μ(x%d) = %v, want ≈%v", i, mu, y[i])
+		}
+		if sigma < 0 {
+			t.Errorf("negative σ at training point")
+		}
+	}
+}
+
+func TestGPUncertaintyGrowsAwayFromData(t *testing.T) {
+	x := [][]float64{{0}, {0.1}, {0.2}}
+	y := []float64{1, 1.1, 0.9}
+	gp, err := FitGP(x, y, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sNear := gp.Predict([]float64{0.1})
+	_, sFar := gp.Predict([]float64{3})
+	if sFar <= sNear {
+		t.Errorf("σ far (%v) should exceed σ near (%v)", sFar, sNear)
+	}
+}
+
+func TestGPRevertsToMeanFarAway(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	y := []float64{5, 7}
+	gp, err := FitGP(x, y, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := gp.Predict([]float64{100})
+	if math.Abs(mu-6) > 0.01 {
+		t.Errorf("far prediction = %v, want prior mean 6", mu)
+	}
+}
+
+func TestFitGPRejectsBadInput(t *testing.T) {
+	if _, err := FitGP(nil, nil, 1); err == nil {
+		t.Errorf("empty fit accepted")
+	}
+	if _, err := FitGP([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Errorf("mismatched lengths accepted")
+	}
+}
+
+func TestIncrementalMatchesBatchGP(t *testing.T) {
+	src := rng.New(5)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 40; i++ {
+		x := []float64{src.Float64(), src.Float64()}
+		y := math.Sin(3*x[0]) + x[1] + 0.01*src.Normal()
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	batch, err := FitGP(xs, ys, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncrementalGP(0.5, batch.SignalVar, batch.NoiseVar, 0)
+	// Match the batch GP's centering.
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	inc = NewIncrementalGP(0.5, batch.SignalVar, batch.NoiseVar, mean)
+	for i := range xs {
+		if err := inc.Add(xs[i], ys[i]); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		p := []float64{src.Float64(), src.Float64()}
+		mb, sb := batch.Predict(p)
+		mi, si := inc.Predict(p)
+		if math.Abs(mb-mi) > 1e-8 {
+			t.Errorf("μ mismatch at %v: %v vs %v", p, mb, mi)
+		}
+		if math.Abs(sb-si) > 1e-8 {
+			t.Errorf("σ mismatch at %v: %v vs %v", p, sb, si)
+		}
+	}
+}
+
+func TestIncrementalEmptyPredict(t *testing.T) {
+	gp := NewIncrementalGP(1, 2, 0.1, 5)
+	mu, sigma := gp.Predict([]float64{0})
+	if mu != 5 {
+		t.Errorf("empty GP mean = %v, want prior 5", mu)
+	}
+	if math.Abs(sigma-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("empty GP σ = %v", sigma)
+	}
+	if gp.Len() != 0 {
+		t.Errorf("Len = %d", gp.Len())
+	}
+}
+
+func TestExpectedViolation(t *testing.T) {
+	// Deterministic cases.
+	if got := ExpectedViolation(5, 0, 3); got != 2 {
+		t.Errorf("deterministic violation = %v", got)
+	}
+	if got := ExpectedViolation(2, 0, 3); got != 0 {
+		t.Errorf("deterministic non-violation = %v", got)
+	}
+	// Symmetric case: μ = limit → E[max(0, X−limit)] = σ·φ(0) ≈ 0.3989σ.
+	got := ExpectedViolation(3, 1, 3)
+	if math.Abs(got-0.3989) > 1e-3 {
+		t.Errorf("at-limit violation = %v", got)
+	}
+	// Monotone in μ.
+	if ExpectedViolation(4, 1, 3) <= ExpectedViolation(2, 1, 3) {
+		t.Errorf("violation not monotone in mean")
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	if got := ExpectedImprovement(2, 0, 5); got != 3 {
+		t.Errorf("deterministic EI = %v", got)
+	}
+	if got := ExpectedImprovement(6, 0, 5); got != 0 {
+		t.Errorf("worse deterministic EI = %v", got)
+	}
+	// EI grows with uncertainty at fixed mean.
+	if ExpectedImprovement(5, 2, 5) <= ExpectedImprovement(5, 1, 5) {
+		t.Errorf("EI not monotone in σ")
+	}
+}

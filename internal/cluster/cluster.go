@@ -1,0 +1,221 @@
+// Package cluster models the invoker fleet of the emulated serverless
+// platform (§4: 16 nodes, each with 16 vCPUs and one A100 GPU partitioned
+// into 7 MIG vGPUs): per-node resource ledgers, container lifecycle with
+// cold/warm starts and the OpenWhisk 10-minute keep-alive, and the
+// data-locality transfer model (local filesystem vs remote storage).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/esg-sched/esg/internal/rng"
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// Config shapes a cluster.
+type Config struct {
+	// Nodes is the invoker count.
+	Nodes int
+	// NodeCPU and NodeGPU are each invoker's capacity.
+	NodeCPU units.VCPU
+	NodeGPU units.VGPU
+	// NodeShapes, when non-empty, gives each invoker its own capacity
+	// (heterogeneous hardware, Appendix A); it overrides Nodes/NodeCPU/
+	// NodeGPU. Schedulers need no changes: placement already reasons
+	// about per-invoker free capacity.
+	NodeShapes []units.Resources
+	// KeepAlive is the idle-container keep-alive (OpenWhisk: 10 minutes).
+	KeepAlive time.Duration
+	// LocalTransfer is the per-hop latency of passing data between stages
+	// co-located on one invoker (local filesystem).
+	LocalTransfer time.Duration
+	// RemoteBandwidthMBps and RemoteLatency model cross-invoker transfer
+	// through remote storage.
+	RemoteBandwidthMBps float64
+	RemoteLatency       time.Duration
+}
+
+// DefaultConfig returns the paper's testbed shape (§4, Table 2).
+func DefaultConfig() Config {
+	return Config{
+		Nodes:               16,
+		NodeCPU:             16,
+		NodeGPU:             7,
+		KeepAlive:           10 * time.Minute,
+		LocalTransfer:       2 * time.Millisecond,
+		RemoteBandwidthMBps: 80,
+		RemoteLatency:       5 * time.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.NodeShapes) > 0 {
+		for i, r := range c.NodeShapes {
+			if r.CPU < 1 || r.GPU < 1 {
+				return fmt.Errorf("cluster: node shape %d must be positive, got %v", i, r)
+			}
+		}
+	} else {
+		if c.Nodes < 1 {
+			return fmt.Errorf("cluster: need at least 1 node, got %d", c.Nodes)
+		}
+		if c.NodeCPU < 1 || c.NodeGPU < 1 {
+			return fmt.Errorf("cluster: node capacity must be positive, got %d vCPU %d vGPU", c.NodeCPU, c.NodeGPU)
+		}
+	}
+	switch {
+	case c.KeepAlive < 0:
+		return fmt.Errorf("cluster: negative keep-alive")
+	case c.RemoteBandwidthMBps <= 0:
+		return fmt.Errorf("cluster: remote bandwidth must be positive")
+	}
+	return nil
+}
+
+// Shapes returns the per-invoker capacities the config describes.
+func (c Config) Shapes() []units.Resources {
+	if len(c.NodeShapes) > 0 {
+		return c.NodeShapes
+	}
+	out := make([]units.Resources, c.Nodes)
+	for i := range out {
+		out[i] = units.Resources{CPU: c.NodeCPU, GPU: c.NodeGPU}
+	}
+	return out
+}
+
+// TransferTime returns the stage-to-stage data transfer latency for a
+// payload of sizeMB, depending on whether producer and consumer share an
+// invoker (§3.4: local filesystem vs remote storage).
+func (c Config) TransferTime(sizeMB float64, sameNode bool) time.Duration {
+	if sizeMB <= 0 {
+		return 0
+	}
+	if sameNode {
+		return c.LocalTransfer
+	}
+	secs := sizeMB / c.RemoteBandwidthMBps
+	return c.RemoteLatency + time.Duration(secs*float64(time.Second))
+}
+
+// Cluster is the set of invokers.
+type Cluster struct {
+	Cfg      Config
+	Invokers []*Invoker
+}
+
+// New builds a cluster per cfg.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Cfg: cfg}
+	for i, shape := range cfg.Shapes() {
+		c.Invokers = append(c.Invokers, newInvoker(i, shape, cfg.KeepAlive))
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// HomeInvoker returns the deterministic "home invoker" of a key — the
+// OpenWhisk hash of (namespace, action) that concentrates a function's
+// instances on one node for warm starts (§2).
+func (c *Cluster) HomeInvoker(key string) *Invoker {
+	return c.Invokers[int(rng.Hash64(key)%uint64(len(c.Invokers)))]
+}
+
+// TotalCapacity returns the summed node capacities.
+func (c *Cluster) TotalCapacity() units.Resources {
+	var r units.Resources
+	for _, inv := range c.Invokers {
+		r = r.Add(inv.Capacity)
+	}
+	return r
+}
+
+// TotalFree returns the summed free resources at time now.
+func (c *Cluster) TotalFree(now time.Duration) units.Resources {
+	var r units.Resources
+	for _, inv := range c.Invokers {
+		r = r.Add(inv.Free())
+	}
+	_ = now
+	return r
+}
+
+// WarmInvokers returns invokers holding an idle warm container for the
+// function at time now, in ascending ID order.
+func (c *Cluster) WarmInvokers(fn string, now time.Duration) []*Invoker {
+	var out []*Invoker
+	for _, inv := range c.Invokers {
+		if inv.HasIdleWarm(fn, now) {
+			out = append(out, inv)
+		}
+	}
+	return out
+}
+
+// HasBusyOrWarming reports whether any invoker currently runs or warms a
+// container of fn — the signal that waiting for a container beats paying a
+// cold start.
+func (c *Cluster) HasBusyOrWarming(fn string) bool {
+	for _, inv := range c.Invokers {
+		if inv.BusyContainers(fn) > 0 || inv.Warming(fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// MostFree returns the invoker with the largest free GPU capacity (ties
+// broken by free CPU, then lowest ID) — the cold-invoker fallback of
+// ESG_Dispatch (§3.4).
+func (c *Cluster) MostFree() *Invoker {
+	var best *Invoker
+	for _, inv := range c.Invokers {
+		if best == nil || freeBetter(inv, best) {
+			best = inv
+		}
+	}
+	return best
+}
+
+func freeBetter(a, b *Invoker) bool {
+	fa, fb := a.Free(), b.Free()
+	if fa.GPU != fb.GPU {
+		return fa.GPU > fb.GPU
+	}
+	if fa.CPU != fb.CPU {
+		return fa.CPU > fb.CPU
+	}
+	return a.ID < b.ID
+}
+
+// Utilization returns the cluster-wide time-averaged CPU and GPU
+// utilization in [0,1] up to time now.
+func (c *Cluster) Utilization(now time.Duration) (cpu, gpu float64) {
+	var cpuInt, gpuInt float64
+	var cpuCap, gpuCap float64
+	for _, inv := range c.Invokers {
+		ci, gi := inv.usageIntegral(now)
+		cpuInt += ci
+		gpuInt += gi
+		cpuCap += float64(inv.Capacity.CPU)
+		gpuCap += float64(inv.Capacity.GPU)
+	}
+	if now <= 0 {
+		return 0, 0
+	}
+	t := float64(now)
+	return cpuInt / (cpuCap * t), gpuInt / (gpuCap * t)
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// Invoker is one worker node: a resource ledger plus per-function warm
+// container pools. Idle warm containers do not hold vCPU/vGPU capacity in
+// this model (MIG partitions are only occupied while kernels run); capacity
+// is held by running tasks from acquisition to release.
+type Invoker struct {
+	ID        int
+	Capacity  units.Resources
+	keepAlive time.Duration
+
+	used units.Resources
+	// warm maps function name -> expiry times of idle warm containers.
+	warm map[string][]time.Duration
+	// busy counts containers currently executing, per function.
+	busy map[string]int
+	// warming counts in-flight pre-warms, per function.
+	warming map[string]int
+
+	// Usage integrals for utilization accounting.
+	lastChange  time.Duration
+	cpuIntegral float64
+	gpuIntegral float64
+
+	// Stats.
+	ColdStarts int
+	WarmStarts int
+}
+
+func newInvoker(id int, cap units.Resources, keepAlive time.Duration) *Invoker {
+	return &Invoker{
+		ID:        id,
+		Capacity:  cap,
+		keepAlive: keepAlive,
+		warm:      make(map[string][]time.Duration),
+		busy:      make(map[string]int),
+		warming:   make(map[string]int),
+	}
+}
+
+// Free returns the currently unallocated resources.
+func (inv *Invoker) Free() units.Resources { return inv.Capacity.Sub(inv.used) }
+
+// CanFit reports whether r fits in the free resources.
+func (inv *Invoker) CanFit(r units.Resources) bool { return r.Fits(inv.Free()) }
+
+// Acquire reserves r at time now. It returns an error if r does not fit —
+// callers are expected to check CanFit first, so an error indicates a
+// scheduler bug.
+func (inv *Invoker) Acquire(r units.Resources, now time.Duration) error {
+	if !r.NonNegative() {
+		return fmt.Errorf("invoker %d: acquire of negative resources %v", inv.ID, r)
+	}
+	if !inv.CanFit(r) {
+		return fmt.Errorf("invoker %d: acquire %v exceeds free %v", inv.ID, r, inv.Free())
+	}
+	inv.integrate(now)
+	inv.used = inv.used.Add(r)
+	return nil
+}
+
+// Release returns r to the free pool at time now.
+func (inv *Invoker) Release(r units.Resources, now time.Duration) {
+	inv.integrate(now)
+	inv.used = inv.used.Sub(r)
+	if !inv.used.NonNegative() {
+		panic(fmt.Sprintf("invoker %d: released more than acquired (used=%v)", inv.ID, inv.used))
+	}
+}
+
+func (inv *Invoker) integrate(now time.Duration) {
+	if now < inv.lastChange {
+		return
+	}
+	dt := float64(now - inv.lastChange)
+	inv.cpuIntegral += float64(inv.used.CPU) * dt
+	inv.gpuIntegral += float64(inv.used.GPU) * dt
+	inv.lastChange = now
+}
+
+func (inv *Invoker) usageIntegral(now time.Duration) (cpu, gpu float64) {
+	inv.integrate(now)
+	return inv.cpuIntegral, inv.gpuIntegral
+}
+
+// pruneWarm drops idle containers whose keep-alive expired by now.
+func (inv *Invoker) pruneWarm(fn string, now time.Duration) {
+	pool := inv.warm[fn]
+	kept := pool[:0]
+	for _, exp := range pool {
+		if exp > now {
+			kept = append(kept, exp)
+		}
+	}
+	if len(kept) == 0 {
+		delete(inv.warm, fn)
+	} else {
+		inv.warm[fn] = kept
+	}
+}
+
+// HasIdleWarm reports whether an idle warm container for fn exists at now.
+func (inv *Invoker) HasIdleWarm(fn string, now time.Duration) bool {
+	inv.pruneWarm(fn, now)
+	return len(inv.warm[fn]) > 0
+}
+
+// IdleWarmCount returns the number of idle warm containers for fn at now.
+func (inv *Invoker) IdleWarmCount(fn string, now time.Duration) int {
+	inv.pruneWarm(fn, now)
+	return len(inv.warm[fn])
+}
+
+// HasContainer reports whether any container (idle or busy) for fn exists.
+func (inv *Invoker) HasContainer(fn string, now time.Duration) bool {
+	if inv.busy[fn] > 0 {
+		return true
+	}
+	return inv.HasIdleWarm(fn, now)
+}
+
+// StartTask claims a container for a task of fn at now and reports whether
+// the start is warm. A warm start consumes an idle container; a cold start
+// creates a new (busy) container.
+func (inv *Invoker) StartTask(fn string, now time.Duration) (warm bool) {
+	inv.pruneWarm(fn, now)
+	pool := inv.warm[fn]
+	if len(pool) > 0 {
+		// Consume the container with the earliest expiry (oldest).
+		inv.warm[fn] = pool[1:]
+		if len(inv.warm[fn]) == 0 {
+			delete(inv.warm, fn)
+		}
+		inv.busy[fn]++
+		inv.WarmStarts++
+		return true
+	}
+	inv.busy[fn]++
+	inv.ColdStarts++
+	return false
+}
+
+// FinishTask releases the task's container back to the idle pool at now,
+// with the configured keep-alive.
+func (inv *Invoker) FinishTask(fn string, now time.Duration) {
+	if inv.busy[fn] <= 0 {
+		panic(fmt.Sprintf("invoker %d: FinishTask(%s) without StartTask", inv.ID, fn))
+	}
+	inv.busy[fn]--
+	inv.warm[fn] = append(inv.warm[fn], now+inv.keepAlive)
+}
+
+// AddWarm installs an idle warm container (the pre-warmer's effect) at now.
+func (inv *Invoker) AddWarm(fn string, now time.Duration) {
+	inv.pruneWarm(fn, now)
+	inv.warm[fn] = append(inv.warm[fn], now+inv.keepAlive)
+}
+
+// BeginWarming marks a container of fn as being cold-started ahead of
+// demand; FinishWarming adds it to the idle pool when the cold start
+// completes.
+func (inv *Invoker) BeginWarming(fn string) { inv.warming[fn]++ }
+
+// Warming reports whether a pre-warm of fn is in flight.
+func (inv *Invoker) Warming(fn string) bool { return inv.warming[fn] > 0 }
+
+// FinishWarming completes an in-flight pre-warm at time now.
+func (inv *Invoker) FinishWarming(fn string, now time.Duration) {
+	if inv.warming[fn] <= 0 {
+		panic(fmt.Sprintf("invoker %d: FinishWarming(%s) without BeginWarming", inv.ID, fn))
+	}
+	inv.warming[fn]--
+	inv.AddWarm(fn, now)
+}
+
+// BusyContainers returns the number of running containers for fn.
+func (inv *Invoker) BusyContainers(fn string) int { return inv.busy[fn] }
+
+// FragmentationScore returns the free-GPU count — the quantity INFless and
+// FaST-GShare placement policies minimize (a smaller remainder means less
+// fragmentation).
+func (inv *Invoker) FragmentationScore() units.VGPU { return inv.Free().GPU }

@@ -1,0 +1,428 @@
+// Package core implements the paper's primary contribution: the ESG
+// scheduling algorithm — ESG_1Q configuration search (A*-search with
+// dual-blade pruning over the layered configuration graph, §3.3 and
+// Appendix B), dominator-based SLO distribution glue, and the ESG scheduler
+// with its adaptive per-stage re-planning and locality-aware dispatch.
+package core
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// DefaultK is the paper's default size of the configuration priority queue
+// (§5.4: "The default K is set to 5 in ESG").
+const DefaultK = 5
+
+// SearchInput parameterizes one ESG_1Q search over a stage sequence (one
+// function group).
+type SearchInput struct {
+	// Tables holds the profile table of each stage in sequence order.
+	Tables []*profile.FunctionTable
+	// GSLO is the target latency of the sequence: (SLO - w) × q in
+	// Algorithm 1.
+	GSLO time.Duration
+	// MaxFirstBatch bounds the first stage's batch size by the queue
+	// length (<= 0 means unbounded).
+	MaxFirstBatch int
+	// K is the number of best paths to return (the solution count).
+	K int
+	// Hop is the optimistic inter-stage transfer estimate added per edge.
+	Hop time.Duration
+	// Filter, when non-nil, restricts the admissible configurations
+	// (used by the GPU-sharing and batching ablations).
+	Filter func(profile.Config) bool
+	// MaxExpansions caps search work as a safety valve; <= 0 uses a
+	// generous default.
+	MaxExpansions int
+}
+
+// Path is one full configuration path: a config per stage with its summed
+// estimated time and per-job resource cost.
+type Path struct {
+	Ests []profile.Estimate
+	Time time.Duration
+	Cost units.Money
+}
+
+// Configs returns the per-stage configurations of the path.
+func (p Path) Configs() []profile.Config {
+	out := make([]profile.Config, len(p.Ests))
+	for i, e := range p.Ests {
+		out[i] = e.Config
+	}
+	return out
+}
+
+// SearchResult is the outcome of one ESG_1Q search.
+type SearchResult struct {
+	// Paths holds up to K SLO-feasible paths in ascending cost order (the
+	// configuration priority queue). When no feasible path exists, Paths
+	// holds the single fastest path and Feasible is false (Algorithm 1's
+	// setDefaultPaths).
+	Paths []Path
+	// Feasible reports whether any path met GSLO.
+	Feasible bool
+	// Expanded counts search-node expansions (diagnostics, §5.3).
+	Expanded int
+}
+
+const defaultMaxExpansions = 4 << 20
+
+// Search runs ESG_1Q: best-first (A*) search over the layered configuration
+// graph with dual-blade pruning — partial paths are cut when their time
+// lower bound exceeds GSLO or their cost lower bound cannot improve on the
+// K-th best known completion (§3.3).
+func Search(in SearchInput) SearchResult {
+	m := len(in.Tables)
+	if m == 0 {
+		return SearchResult{Feasible: true}
+	}
+	k := in.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	maxExp := in.MaxExpansions
+	if maxExp <= 0 {
+		maxExp = defaultMaxExpansions
+	}
+
+	// Per-stage config lists sorted ascending by latency (Algorithm 1's
+	// ConfigLists), with the queue-length bound on the first stage and the
+	// ablation filter applied.
+	lists := make([][]profile.Estimate, m)
+	for j := 0; j < m; j++ {
+		maxBatch := 0
+		if j == 0 {
+			maxBatch = in.MaxFirstBatch
+		}
+		lists[j] = filteredList(in.Tables[j], maxBatch, in.Filter)
+		if len(lists[j]) == 0 {
+			// Over-constrained (e.g., filter excludes everything):
+			// fall back to the unfiltered fastest config.
+			lists[j] = in.Tables[j].ByLatency[:1]
+		}
+	}
+
+	// Suffix bounds for the two blades:
+	//   minTimeAfter[j] — fastest possible completion of stages > j,
+	//   minCostAfter[j] — cheapest possible completion of stages > j.
+	minTimeAfter := make([]time.Duration, m+1)
+	minCostAfter := make([]units.Money, m+1)
+	for j := m - 1; j >= 0; j-- {
+		mt, mc := listBounds(lists[j])
+		hop := time.Duration(0)
+		if j > 0 {
+			hop = in.Hop
+		}
+		minTimeAfter[j] = minTimeAfter[j+1] + mt + hop
+		minCostAfter[j] = minCostAfter[j+1] + mc
+	}
+
+	res := SearchResult{}
+	best := newPathHeap(k)   // the K cheapest feasible full paths
+	open := &nodeHeap{}      // A* frontier ordered by cost lower bound
+	root := &node{level: -1} // virtual start node
+	root.f = minCostAfter[0] // admissible heuristic from the start
+	heap.Push(open, root)
+
+	for open.Len() > 0 {
+		n := heap.Pop(open).(*node)
+		if best.full() && n.f >= best.worst() {
+			break // no remaining node can beat the K-th best full path
+		}
+		res.Expanded++
+		if res.Expanded > maxExp {
+			break
+		}
+		j := n.level + 1 // stage to configure next
+		hop := time.Duration(0)
+		if j > 0 {
+			hop = in.Hop
+		}
+		for idx := range lists[j] {
+			est := &lists[j][idx]
+			t := n.time + hop + est.Time
+			tLow := t + minTimeAfter[j+1]
+			if tLow > in.GSLO {
+				break // blade 1: lists are latency-ascending
+			}
+			c := n.cost + est.JobCost
+			rscLow := c + minCostAfter[j+1]
+			// Blade 2: cost-based pruning. Algorithm 1 prunes against
+			// minRSC, a list of the K best rscFastest bounds; as printed
+			// that list can double-count completions of nested prefixes
+			// (a prefix and its extension both insert bounds for the same
+			// full path), so pruning against it can lose members of the
+			// true top-K. We prune against the K-th best *completed* path
+			// instead — the same blade, with a sound threshold. The
+			// best-first order fills the heap with cheap completions
+			// quickly, so the blade engages early.
+			if best.full() && rscLow > best.worst() {
+				continue
+			}
+			if j == m-1 {
+				best.add(buildPath(n, est, t, c, lists))
+				continue
+			}
+			child := &node{parent: n, estIdx: idx, level: j, time: t, cost: c}
+			child.f = c + minCostAfter[j+1]
+			heap.Push(open, child)
+		}
+	}
+
+	res.Paths = best.sorted()
+	res.Feasible = len(res.Paths) > 0
+	if !res.Feasible {
+		res.Paths = drainPaths(lists, in.Hop)
+	}
+	return res
+}
+
+// node is a partial path covering stages 0..level.
+type node struct {
+	parent *node
+	estIdx int
+	level  int
+	time   time.Duration
+	cost   units.Money
+	f      units.Money // cost + admissible remaining-cost heuristic
+}
+
+func buildPath(n *node, last *profile.Estimate, t time.Duration, c units.Money, lists [][]profile.Estimate) Path {
+	m := len(lists)
+	ests := make([]profile.Estimate, m)
+	ests[m-1] = *last
+	for cur := n; cur != nil && cur.level >= 0; cur = cur.parent {
+		ests[cur.level] = lists[cur.level][cur.estIdx]
+	}
+	return Path{Ests: ests, Time: t, Cost: c}
+}
+
+// drainPaths builds the default paths used when no configuration meets
+// GSLO (Algorithm 1's setDefaultPaths): per-stage configurations that
+// minimize per-job completion time (task time divided by batch size). When
+// the budget is already blown, head-of-queue jobs have lost their SLO
+// anyway; what matters is draining the backlog at maximum per-job
+// throughput so the jobs behind them still make theirs. Several variants
+// with decreasing resource footprints are returned so the dispatcher can
+// still place a task on a loaded cluster.
+func drainPaths(lists [][]profile.Estimate, hop time.Duration) []Path {
+	caps := []units.Resources{
+		{CPU: 8, GPU: 7},
+		{CPU: 4, GPU: 4},
+		{CPU: 2, GPU: 2},
+		{CPU: 1, GPU: 1},
+	}
+	var out []Path
+	seen := make(map[profile.Config]bool)
+	for _, rc := range caps {
+		p, ok := drainPathCapped(lists, hop, rc)
+		if !ok {
+			continue
+		}
+		first := p.Ests[0].Config
+		if seen[first] {
+			continue
+		}
+		seen[first] = true
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		p, _ := drainPathCapped(lists, hop, units.Resources{})
+		out = append(out, p)
+	}
+	return out
+}
+
+// drainPathCapped builds one drain path restricted to configs fitting the
+// resource cap (zero components mean unrestricted). ok is false when a
+// stage has no config under the cap.
+func drainPathCapped(lists [][]profile.Estimate, hop time.Duration, rc units.Resources) (Path, bool) {
+	var p Path
+	for j, list := range lists {
+		var best *profile.Estimate
+		var bestPerJob float64
+		for i := range list {
+			cand := &list[i]
+			if rc.GPU > 0 && cand.Config.GPU > rc.GPU {
+				continue
+			}
+			if rc.CPU > 0 && cand.Config.CPU > rc.CPU {
+				continue
+			}
+			perJob := float64(cand.Time) / float64(cand.Config.Batch)
+			if best == nil || perJob < bestPerJob ||
+				(perJob == bestPerJob && cand.JobCost < best.JobCost) {
+				best = cand
+				bestPerJob = perJob
+			}
+		}
+		if best == nil {
+			return Path{}, false
+		}
+		p.Ests = append(p.Ests, *best)
+		p.Time += best.Time
+		if j > 0 {
+			p.Time += hop
+		}
+		p.Cost += best.JobCost
+	}
+	return p, true
+}
+
+func filteredList(t *profile.FunctionTable, maxBatch int, filter func(profile.Config) bool) []profile.Estimate {
+	src := t.LatencyAscending(maxBatch)
+	if filter == nil {
+		return src
+	}
+	out := make([]profile.Estimate, 0, len(src))
+	for _, e := range src {
+		if filter(e.Config) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func listBounds(list []profile.Estimate) (minTime time.Duration, minCost units.Money) {
+	minTime = list[0].Time
+	minCost = list[0].JobCost
+	for _, e := range list[1:] {
+		if e.Time < minTime {
+			minTime = e.Time
+		}
+		if e.JobCost < minCost {
+			minCost = e.JobCost
+		}
+	}
+	return minTime, minCost
+}
+
+// topK keeps the K smallest values inserted; max() is the pruning
+// threshold (Algorithm 1's minRSC list).
+type topK struct {
+	k    int
+	vals []units.Money
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) full() bool       { return len(t.vals) == t.k }
+func (t *topK) max() units.Money { return t.vals[len(t.vals)-1] }
+func (t *topK) insert(v units.Money) {
+	if t.full() && v >= t.max() {
+		return
+	}
+	i := sort.Search(len(t.vals), func(i int) bool { return t.vals[i] >= v })
+	t.vals = append(t.vals, 0)
+	copy(t.vals[i+1:], t.vals[i:])
+	t.vals[i] = v
+	if len(t.vals) > t.k {
+		t.vals = t.vals[:t.k]
+	}
+}
+
+// pathHeap keeps the K cheapest full paths.
+type pathHeap struct {
+	k     int
+	paths []Path
+}
+
+func newPathHeap(k int) *pathHeap { return &pathHeap{k: k} }
+
+func (p *pathHeap) full() bool         { return len(p.paths) == p.k }
+func (p *pathHeap) worst() units.Money { return p.paths[len(p.paths)-1].Cost }
+
+func (p *pathHeap) add(path Path) {
+	if p.full() && path.Cost >= p.worst() {
+		return
+	}
+	i := sort.Search(len(p.paths), func(i int) bool { return p.paths[i].Cost >= path.Cost })
+	p.paths = append(p.paths, Path{})
+	copy(p.paths[i+1:], p.paths[i:])
+	p.paths[i] = path
+	if len(p.paths) > p.k {
+		p.paths = p.paths[:p.k]
+	}
+}
+
+func (p *pathHeap) sorted() []Path { return p.paths }
+
+// nodeHeap is the A* frontier (min-heap on f).
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].f < h[j].f }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return v
+}
+
+// BruteForceSearch exhaustively enumerates every configuration path and
+// returns the K cheapest feasible ones. It exists for §5.3's overhead
+// comparison and as a correctness oracle for Search in tests.
+func BruteForceSearch(in SearchInput) SearchResult {
+	m := len(in.Tables)
+	if m == 0 {
+		return SearchResult{Feasible: true}
+	}
+	k := in.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	lists := make([][]profile.Estimate, m)
+	for j := 0; j < m; j++ {
+		maxBatch := 0
+		if j == 0 {
+			maxBatch = in.MaxFirstBatch
+		}
+		lists[j] = filteredList(in.Tables[j], maxBatch, in.Filter)
+		if len(lists[j]) == 0 {
+			lists[j] = in.Tables[j].ByLatency[:1]
+		}
+	}
+	best := newPathHeap(k)
+	res := SearchResult{}
+	choice := make([]int, m)
+	var rec func(j int, t time.Duration, c units.Money)
+	rec = func(j int, t time.Duration, c units.Money) {
+		if j == m {
+			res.Expanded++
+			if t <= in.GSLO {
+				ests := make([]profile.Estimate, m)
+				for i, idx := range choice {
+					ests[i] = lists[i][idx]
+				}
+				best.add(Path{Ests: ests, Time: t, Cost: c})
+			}
+			return
+		}
+		hop := time.Duration(0)
+		if j > 0 {
+			hop = in.Hop
+		}
+		for idx := range lists[j] {
+			choice[j] = idx
+			e := &lists[j][idx]
+			rec(j+1, t+hop+e.Time, c+e.JobCost)
+		}
+	}
+	rec(0, 0, 0)
+	res.Paths = best.sorted()
+	res.Feasible = len(res.Paths) > 0
+	if !res.Feasible {
+		res.Paths = drainPaths(lists, in.Hop)
+	}
+	return res
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/esg-sched/esg/internal/pricing"
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/units"
+)
+
+func testOracle() *profile.Oracle {
+	return profile.NewOracle(profile.Table3Registry(), profile.DefaultSpace(), pricing.Default())
+}
+
+func smallOracle() *profile.Oracle {
+	return profile.NewOracle(profile.Table3Registry(), profile.SmallSpace(), pricing.Default())
+}
+
+func tablesFor(o *profile.Oracle, names ...string) []*profile.FunctionTable {
+	out := make([]*profile.FunctionTable, len(names))
+	for i, n := range names {
+		out[i] = o.MustTable(n)
+	}
+	return out
+}
+
+func TestSearchFindsFeasiblePaths(t *testing.T) {
+	o := testOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Segmentation, profile.Classification)
+	// Moderate budget: 1.0 × L of the image classification app.
+	res := Search(SearchInput{
+		Tables: tables,
+		GSLO:   526 * time.Millisecond,
+		K:      5,
+	})
+	if !res.Feasible {
+		t.Fatalf("search infeasible at 1.0·L")
+	}
+	if len(res.Paths) == 0 || len(res.Paths) > 5 {
+		t.Fatalf("got %d paths", len(res.Paths))
+	}
+	for i, p := range res.Paths {
+		if len(p.Ests) != 3 {
+			t.Errorf("path %d has %d stages", i, len(p.Ests))
+		}
+		if p.Time > 526*time.Millisecond {
+			t.Errorf("path %d time %v exceeds GSLO", i, p.Time)
+		}
+		if i > 0 && p.Cost < res.Paths[i-1].Cost {
+			t.Errorf("paths not cost-ascending at %d", i)
+		}
+	}
+}
+
+func TestSearchMatchesBruteForceTopCost(t *testing.T) {
+	// The A*+dual-blade search must return the same optimal cost (and same
+	// top-K cost multiset) as exhaustive enumeration. SmallSpace keeps the
+	// brute force tractable: 27³ ≈ 20k paths.
+	o := smallOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Deblur, profile.Classification)
+	for _, gslo := range []time.Duration{
+		400 * time.Millisecond, // tight
+		552 * time.Millisecond, // ≈ L
+		700 * time.Millisecond, // generous
+		2 * time.Second,        // everything feasible
+	} {
+		for _, k := range []int{1, 3, 5} {
+			in := SearchInput{Tables: tables, GSLO: gslo, K: k, Hop: 2 * time.Millisecond}
+			got := Search(in)
+			want := BruteForceSearch(in)
+			if got.Feasible != want.Feasible {
+				t.Errorf("GSLO=%v K=%d: feasible %v vs brute %v", gslo, k, got.Feasible, want.Feasible)
+				continue
+			}
+			if !want.Feasible {
+				continue
+			}
+			if len(got.Paths) != len(want.Paths) {
+				t.Errorf("GSLO=%v K=%d: %d paths vs brute %d", gslo, k, len(got.Paths), len(want.Paths))
+				continue
+			}
+			for i := range got.Paths {
+				if got.Paths[i].Cost != want.Paths[i].Cost {
+					t.Errorf("GSLO=%v K=%d: path %d cost %v vs brute %v",
+						gslo, k, i, got.Paths[i].Cost, want.Paths[i].Cost)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchMatchesBruteForceProperty(t *testing.T) {
+	o := smallOracle()
+	names := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	f := func(f1, f2, gsloMS uint16, kRaw, maxBatchRaw uint8) bool {
+		tables := tablesFor(o, names[int(f1)%len(names)], names[int(f2)%len(names)])
+		gslo := time.Duration(200+int(gsloMS)%2000) * time.Millisecond
+		k := 1 + int(kRaw)%6
+		maxBatch := int(maxBatchRaw) % 5 // 0 = unbounded
+		in := SearchInput{Tables: tables, GSLO: gslo, K: k, MaxFirstBatch: maxBatch}
+		got := Search(in)
+		want := BruteForceSearch(in)
+		if got.Feasible != want.Feasible || len(got.Paths) != len(want.Paths) {
+			return false
+		}
+		for i := range got.Paths {
+			if got.Paths[i].Cost != want.Paths[i].Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchPrunesVersusBruteForce(t *testing.T) {
+	// Dual-blade pruning must expand far fewer nodes than enumeration on
+	// the full 256-config space (§5.3's whole point).
+	o := testOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Segmentation, profile.Classification)
+	in := SearchInput{Tables: tables, GSLO: 500 * time.Millisecond, K: 5}
+	got := Search(in)
+	if !got.Feasible {
+		t.Fatalf("expected feasible search")
+	}
+	// Brute force enumerates 256³ ≈ 16.7M paths; the pruned search should
+	// stay under a few hundred thousand expansions.
+	if got.Expanded > 500_000 {
+		t.Errorf("search expanded %d nodes; pruning ineffective", got.Expanded)
+	}
+}
+
+func TestSearchRespectsFirstBatchBound(t *testing.T) {
+	o := testOracle()
+	tables := tablesFor(o, profile.Deblur, profile.SuperResolution)
+	res := Search(SearchInput{Tables: tables, GSLO: 2 * time.Second, K: 5, MaxFirstBatch: 2})
+	for _, p := range res.Paths {
+		if p.Ests[0].Config.Batch > 2 {
+			t.Errorf("first-stage batch %d exceeds queue bound", p.Ests[0].Config.Batch)
+		}
+	}
+}
+
+func TestSearchInfeasibleFallsBackToDrain(t *testing.T) {
+	o := testOracle()
+	tables := tablesFor(o, profile.BackgroundRemoval, profile.DepthRecognition)
+	res := Search(SearchInput{Tables: tables, GSLO: time.Millisecond, K: 5, MaxFirstBatch: 16})
+	if res.Feasible {
+		t.Fatalf("1ms budget reported feasible")
+	}
+	if len(res.Paths) == 0 {
+		t.Fatalf("no fallback paths")
+	}
+	// Drain fallbacks offer decreasing resource footprints so a loaded
+	// cluster can still place one.
+	last := res.Paths[0].Ests[0].Config
+	foundSmall := false
+	for _, p := range res.Paths {
+		cfg := p.Ests[0].Config
+		if cfg.GPU <= 1 && cfg.CPU <= 1 {
+			foundSmall = true
+		}
+		last = cfg
+	}
+	_ = last
+	if !foundSmall {
+		t.Errorf("no minimal-footprint drain fallback among %d paths", len(res.Paths))
+	}
+}
+
+func TestSearchFilter(t *testing.T) {
+	o := testOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Classification)
+	onlyBatch1 := func(c profile.Config) bool { return c.Batch == 1 }
+	res := Search(SearchInput{Tables: tables, GSLO: time.Second, K: 5, Filter: onlyBatch1})
+	for _, p := range res.Paths {
+		for _, e := range p.Ests {
+			if e.Config.Batch != 1 {
+				t.Errorf("filter leaked config %v", e.Config)
+			}
+		}
+	}
+}
+
+func TestSearchEmptySequence(t *testing.T) {
+	res := Search(SearchInput{})
+	if !res.Feasible || len(res.Paths) != 0 {
+		t.Errorf("empty search = %+v", res)
+	}
+}
+
+func TestPathConfigs(t *testing.T) {
+	o := testOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Classification)
+	res := Search(SearchInput{Tables: tables, GSLO: time.Second, K: 1})
+	cfgs := res.Paths[0].Configs()
+	if len(cfgs) != 2 {
+		t.Fatalf("Configs() returned %d", len(cfgs))
+	}
+	for i, c := range cfgs {
+		if c != res.Paths[0].Ests[i].Config {
+			t.Errorf("config %d mismatch", i)
+		}
+	}
+}
+
+func TestTopKKeepsSmallest(t *testing.T) {
+	tk := newTopK(3)
+	for _, v := range []units.Money{50, 10, 40, 30, 20} {
+		tk.insert(v)
+	}
+	if !tk.full() {
+		t.Fatalf("topK not full")
+	}
+	if tk.max() != 30 {
+		t.Errorf("max = %v, want 30", tk.max())
+	}
+	if tk.vals[0] != 10 || tk.vals[1] != 20 {
+		t.Errorf("vals = %v", tk.vals)
+	}
+}
+
+func TestPathHeapOrdering(t *testing.T) {
+	ph := newPathHeap(2)
+	ph.add(Path{Cost: 30})
+	ph.add(Path{Cost: 10})
+	ph.add(Path{Cost: 20})
+	ph.add(Path{Cost: 40})
+	got := ph.sorted()
+	if len(got) != 2 || got[0].Cost != 10 || got[1].Cost != 20 {
+		t.Errorf("pathHeap kept %v", got)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+func TestLevelwiseMatchesAStar(t *testing.T) {
+	o := smallOracle()
+	names := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	f := func(f1, f2, f3, gsloMS uint16, kRaw uint8) bool {
+		tables := tablesFor(o,
+			names[int(f1)%len(names)],
+			names[int(f2)%len(names)],
+			names[int(f3)%len(names)])
+		gslo := time.Duration(300+int(gsloMS)%2500) * time.Millisecond
+		k := 1 + int(kRaw)%6
+		in := SearchInput{Tables: tables, GSLO: gslo, K: k, Hop: time.Millisecond}
+		a := Search(in)
+		b := SearchLevelwise(in)
+		if a.Feasible != b.Feasible || len(a.Paths) != len(b.Paths) {
+			return false
+		}
+		for i := range a.Paths {
+			if a.Paths[i].Cost != b.Paths[i].Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelwiseMatchesBruteForce(t *testing.T) {
+	o := smallOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Deblur, profile.Classification)
+	for _, gslo := range []time.Duration{450 * time.Millisecond, 600 * time.Millisecond, 2 * time.Second} {
+		in := SearchInput{Tables: tables, GSLO: gslo, K: 5}
+		got := SearchLevelwise(in)
+		want := BruteForceSearch(in)
+		if got.Feasible != want.Feasible || len(got.Paths) != len(want.Paths) {
+			t.Errorf("GSLO=%v: %d/%v paths vs brute %d/%v",
+				gslo, len(got.Paths), got.Feasible, len(want.Paths), want.Feasible)
+			continue
+		}
+		for i := range got.Paths {
+			if got.Paths[i].Cost != want.Paths[i].Cost {
+				t.Errorf("GSLO=%v: path %d cost %v vs %v", gslo, i, got.Paths[i].Cost, want.Paths[i].Cost)
+			}
+		}
+	}
+}
+
+func TestLevelwiseInfeasibleFallback(t *testing.T) {
+	o := testOracle()
+	tables := tablesFor(o, profile.BackgroundRemoval)
+	res := SearchLevelwise(SearchInput{Tables: tables, GSLO: time.Millisecond, K: 3})
+	if res.Feasible || len(res.Paths) == 0 {
+		t.Errorf("fallback missing: feasible=%v paths=%d", res.Feasible, len(res.Paths))
+	}
+}
+
+func TestLevelwiseEmpty(t *testing.T) {
+	res := SearchLevelwise(SearchInput{})
+	if !res.Feasible || len(res.Paths) != 0 {
+		t.Errorf("empty input: %+v", res)
+	}
+}
+
+// BenchmarkEngines contrasts the A* variant with the basic level-wise
+// sweep of Fig. 3(b) on the full 256-config space — the refinement
+// Appendix B motivates.
+func BenchmarkEngineAStar(b *testing.B) {
+	o := testOracle()
+	in := SearchInput{
+		Tables: tablesFor(o, profile.Deblur, profile.SuperResolution, profile.BackgroundRemoval),
+		GSLO:   (319 + 86 + 1047) * time.Millisecond,
+		K:      DefaultK,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := Search(in); len(res.Paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+func BenchmarkEngineLevelwise(b *testing.B) {
+	o := testOracle()
+	in := SearchInput{
+		Tables: tablesFor(o, profile.Deblur, profile.SuperResolution, profile.BackgroundRemoval),
+		GSLO:   (319 + 86 + 1047) * time.Millisecond,
+		K:      DefaultK,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := SearchLevelwise(in); len(res.Paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package dominator
+
+import (
+	"math"
+	"testing"
+
+	"github.com/esg-sched/esg/internal/pricing"
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+func chainApp(n int) *workflow.App {
+	fns := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fns[i%len(fns)]
+	}
+	return workflow.Chain("chain", names...)
+}
+
+// fig4DAG builds a hierarchically reducible DAG in the spirit of Fig. 4:
+// a chain into a branch point with two branches that re-join, one branch
+// containing a nested branch point.
+//
+//	0 → 1 → 2 ─┬→ 3 → 4 ──────────────┬→ 9 → 10
+//	           └→ 5 ─┬→ 6 ─┬→ 8 ──────┘
+//	                 └→ 7 ─┘
+func fig4DAG(t *testing.T) *workflow.App {
+	t.Helper()
+	fns := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	b := workflow.NewBuilder("fig4")
+	ids := make([]int, 11)
+	for i := range ids {
+		ids[i] = b.Stage(fns[i%len(fns)])
+	}
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 9},
+		{2, 5}, {5, 6}, {5, 7}, {6, 8}, {7, 8}, {8, 9}, {9, 10}}
+	for _, e := range edges {
+		b.Edge(e[0], e[1])
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatalf("fig4 DAG: %v", err)
+	}
+	return app
+}
+
+func TestDominatorTreeChain(t *testing.T) {
+	app := chainApp(5)
+	tree := BuildTree(app)
+	for v := 1; v < 5; v++ {
+		if tree.IDom[v] != v-1 {
+			t.Errorf("IDom[%d] = %d, want %d", v, tree.IDom[v], v-1)
+		}
+	}
+	if tree.IDom[0] != -1 {
+		t.Errorf("root IDom = %d", tree.IDom[0])
+	}
+}
+
+func TestDominatorTreeFig4(t *testing.T) {
+	app := fig4DAG(t)
+	tree := BuildTree(app)
+	want := map[int]int{1: 0, 2: 1, 3: 2, 4: 3, 5: 2, 6: 5, 7: 5, 8: 5, 9: 2, 10: 9}
+	for v, d := range want {
+		if tree.IDom[v] != d {
+			t.Errorf("IDom[%d] = %d, want %d", v, tree.IDom[v], d)
+		}
+	}
+	if !tree.Dominates(2, 8) {
+		t.Errorf("2 should dominate 8")
+	}
+	if tree.Dominates(3, 9) {
+		t.Errorf("3 should not dominate 9 (path via 5 exists)")
+	}
+	if !tree.Dominates(9, 9) {
+		t.Errorf("a node dominates itself")
+	}
+}
+
+func TestDominatorDefinitionProperty(t *testing.T) {
+	// Brute-force check on the Fig. 4 DAG: A dominates B iff removing A
+	// disconnects B from the entry.
+	app := fig4DAG(t)
+	tree := BuildTree(app)
+	n := app.Len()
+	reachableWithout := func(blocked int) []bool {
+		seen := make([]bool, n)
+		if blocked == app.Entry() {
+			return seen
+		}
+		stack := []int{app.Entry()}
+		seen[app.Entry()] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range app.Stage(v).Succs {
+				if s != blocked && !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		return seen
+	}
+	for a := 0; a < n; a++ {
+		reach := reachableWithout(a)
+		for b := 0; b < n; b++ {
+			wantDom := a == b || !reach[b]
+			if got := tree.Dominates(a, b); got != wantDom {
+				t.Errorf("Dominates(%d,%d) = %v, want %v", a, b, got, wantDom)
+			}
+		}
+	}
+}
+
+func oracle() *profile.Oracle {
+	return profile.NewOracle(profile.Table3Registry(), profile.DefaultSpace(), pricing.Default())
+}
+
+func TestANLSumsToOne(t *testing.T) {
+	for _, app := range workflow.EvaluationApps() {
+		anl := ANL(app, oracle())
+		var sum float64
+		for _, v := range anl {
+			if v <= 0 {
+				t.Errorf("%s: non-positive ANL %v", app.Name, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: ANL sums to %v", app.Name, sum)
+		}
+	}
+}
+
+func TestANLOrdersByLength(t *testing.T) {
+	// Longer functions must have larger ANL within an app.
+	app := workflow.BackgroundEliminationApp() // SR(86) → deblur(319) → bgrm(1047)
+	anl := ANL(app, oracle())
+	if !(anl[0] < anl[1] && anl[1] < anl[2]) {
+		t.Errorf("ANL not ordered by function length: %v", anl)
+	}
+}
+
+func TestDistributeChainGroups(t *testing.T) {
+	app := chainApp(5)
+	anl := ANLFromBase(app, profile.Table3Registry())
+	d, err := Distribute(app, anl, 3)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	// A 5-stage chain with group size 3 yields groups [0,1,2] and [3,4].
+	if len(d.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(d.Groups))
+	}
+	if got := d.Groups[0].Stages; len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("group 0 stages = %v", got)
+	}
+	if got := d.Groups[1].Stages; len(got) != 2 || got[0] != 3 {
+		t.Errorf("group 1 stages = %v", got)
+	}
+	// Quotas along the chain sum to 1.
+	if q := d.Groups[0].Quota + d.Groups[1].Quota; math.Abs(q-1) > 1e-9 {
+		t.Errorf("chain quotas sum to %v", q)
+	}
+	// TailANL decreases along the chain and starts at the total.
+	if math.Abs(d.Groups[0].TailANL-1) > 1e-9 {
+		t.Errorf("entry TailANL = %v, want 1", d.Groups[0].TailANL)
+	}
+}
+
+func TestDistributeGroupSizeOne(t *testing.T) {
+	app := chainApp(4)
+	anl := ANLFromBase(app, profile.Table3Registry())
+	d, err := Distribute(app, anl, 1)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	if len(d.Groups) != 4 {
+		t.Errorf("got %d groups, want 4", len(d.Groups))
+	}
+}
+
+func TestDistributeFig4(t *testing.T) {
+	app := fig4DAG(t)
+	anl := ANLFromBase(app, profile.Table3Registry())
+	d, err := Distribute(app, anl, 3)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	// Every stage must be in exactly one group, groups must not span
+	// branch points or joins, and member stages must be consecutive on a
+	// path.
+	seen := make(map[int]int)
+	for _, g := range d.Groups {
+		if len(g.Stages) > 3 {
+			t.Errorf("group %d exceeds size: %v", g.ID, g.Stages)
+		}
+		for _, s := range g.Stages {
+			if prev, dup := seen[s]; dup {
+				t.Errorf("stage %d in groups %d and %d", s, prev, g.ID)
+			}
+			seen[s] = g.ID
+		}
+		for i := 1; i < len(g.Stages); i++ {
+			u, v := g.Stages[i-1], g.Stages[i]
+			if len(app.Stage(u).Succs) != 1 || app.Stage(u).Succs[0] != v {
+				t.Errorf("group %d stages %d→%d not a unique-succ path edge", g.ID, u, v)
+			}
+			if len(app.Stage(v).Preds) != 1 {
+				t.Errorf("group %d spans join at stage %d", g.ID, v)
+			}
+		}
+	}
+	if len(seen) != app.Len() {
+		t.Errorf("only %d of %d stages grouped", len(seen), app.Len())
+	}
+	// The two branch heads (3 and 5) must start distinct groups.
+	if d.GroupOf(3).ID == d.GroupOf(5).ID {
+		t.Errorf("parallel branches share a group")
+	}
+	// Nested branches (6 and 7) must also be separate.
+	if d.GroupOf(6).ID == d.GroupOf(7).ID {
+		t.Errorf("nested branches share a group")
+	}
+}
+
+func TestRemainingSequenceChain(t *testing.T) {
+	app := chainApp(5)
+	anl := ANLFromBase(app, profile.Table3Registry())
+	d, err := Distribute(app, anl, 3)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	stages, quota := d.RemainingSequence(0)
+	if len(stages) != 3 || stages[0] != 0 {
+		t.Errorf("RemainingSequence(0) stages = %v", stages)
+	}
+	if quota <= 0 || quota >= 1 {
+		t.Errorf("entry quota = %v", quota)
+	}
+	// Mid-group: sequence shrinks and quota shrinks with it.
+	stages1, quota1 := d.RemainingSequence(1)
+	if len(stages1) != 2 || stages1[0] != 1 {
+		t.Errorf("RemainingSequence(1) stages = %v", stages1)
+	}
+	if quota1 >= quota {
+		t.Errorf("quota did not shrink: %v -> %v", quota, quota1)
+	}
+	// Last group: quota covers the rest of the workflow entirely.
+	stagesLast, quotaLast := d.RemainingSequence(3)
+	if len(stagesLast) != 2 {
+		t.Errorf("RemainingSequence(3) stages = %v", stagesLast)
+	}
+	if math.Abs(quotaLast-1) > 1e-9 {
+		t.Errorf("final group quota = %v, want 1", quotaLast)
+	}
+}
+
+func TestRemainingSequenceQuotaMatchesANL(t *testing.T) {
+	// For the 3-stage background-elimination chain with group size 3, the
+	// single group contains everything, so the quota from stage 0 is 1.
+	app := workflow.BackgroundEliminationApp()
+	anl := ANLFromBase(app, profile.Table3Registry())
+	d, err := Distribute(app, anl, 3)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	if len(d.Groups) != 1 {
+		t.Fatalf("3-stage chain grouped into %d groups", len(d.Groups))
+	}
+	if _, q := d.RemainingSequence(0); math.Abs(q-1) > 1e-9 {
+		t.Errorf("whole-app quota = %v", q)
+	}
+}
+
+func TestDistributeRejectsBadInput(t *testing.T) {
+	app := chainApp(3)
+	anl := ANLFromBase(app, profile.Table3Registry())
+	if _, err := Distribute(app, anl, 0); err == nil {
+		t.Errorf("group size 0 accepted")
+	}
+	if _, err := Distribute(app, anl[:2], 3); err == nil {
+		t.Errorf("short ANL vector accepted")
+	}
+}
+
+func TestQuotasPositiveAndBounded(t *testing.T) {
+	app := fig4DAG(t)
+	anl := ANLFromBase(app, profile.Table3Registry())
+	for g := 1; g <= 4; g++ {
+		d, err := Distribute(app, anl, g)
+		if err != nil {
+			t.Fatalf("Distribute(g=%d): %v", g, err)
+		}
+		for _, grp := range d.Groups {
+			if grp.Quota <= 0 || grp.Quota > 1 {
+				t.Errorf("g=%d group %d quota = %v", g, grp.ID, grp.Quota)
+			}
+			if grp.TailANL < grp.ANL {
+				t.Errorf("g=%d group %d TailANL %v < ANL %v", g, grp.ID, grp.TailANL, grp.ANL)
+			}
+		}
+	}
+}
+
+func TestQuotasSumAlongPaths(t *testing.T) {
+	// Along any entry-to-exit chain of groups (following max-ANL branches),
+	// quotas must not exceed 1: every path fits in the SLO budget.
+	app := fig4DAG(t)
+	anl := ANLFromBase(app, profile.Table3Registry())
+	d, err := Distribute(app, anl, 2)
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	var walk func(g int, used float64)
+	walk = func(g int, used float64) {
+		grp := &d.Groups[g]
+		used += grp.Quota
+		if used > 1+1e-9 {
+			t.Errorf("path through group %d uses %v of the SLO", g, used)
+		}
+		for _, n := range grp.Next {
+			walk(n, used)
+		}
+	}
+	walk(d.GroupOf(app.Entry()).ID, 0)
+}

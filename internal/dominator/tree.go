@@ -1,0 +1,160 @@
+// Package dominator implements the paper's dominator-based SLO distribution
+// (§3.3, Fig. 4): building the dominator tree of a workflow DAG, labelling
+// stages with average normalized lengths (ANL), hierarchically reducing
+// branches, partitioning stages into groups of bounded size, and assigning
+// each group a share of the end-to-end SLO.
+package dominator
+
+import (
+	"fmt"
+
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+// Tree is the dominator tree of an application DAG. Stage IDs are the node
+// identifiers; the DAG's single entry (stage 0) is the root.
+type Tree struct {
+	// IDom[v] is the immediate dominator of v; IDom[root] == -1.
+	IDom []int
+	// Children[v] lists the dominator-tree children of v in ascending order.
+	Children [][]int
+}
+
+// BuildTree computes the dominator tree with the Cooper–Harvey–Kennedy
+// iterative algorithm. Because workflow stage IDs are topologically ordered,
+// the IDs double as a reverse-postorder numbering, which the algorithm's
+// intersect step requires.
+func BuildTree(app *workflow.App) *Tree {
+	n := app.Len()
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	root := app.Entry()
+	idom[root] = root
+
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < n; b++ {
+			if b == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range app.Stage(b).Preds {
+				if idom[p] == -1 {
+					continue // predecessor not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(idom, p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	t := &Tree{IDom: idom, Children: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		d := idom[v]
+		t.Children[d] = append(t.Children[d], v)
+	}
+	t.IDom[root] = -1
+	return t
+}
+
+func intersect(idom []int, a, b int) int {
+	for a != b {
+		for a > b {
+			a = idom[a]
+		}
+		for b > a {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b (every path from the entry to b
+// passes through a). A node dominates itself.
+func (t *Tree) Dominates(a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if t.IDom[b] < 0 {
+			return false
+		}
+		b = t.IDom[b]
+	}
+}
+
+// ANL computes each stage's average normalized length (§3.3): for stage i,
+// average over all configurations c of t_i(c) / Σ_j t_j(c), where j ranges
+// over the application's stages and times come from the performance profile.
+func ANL(app *workflow.App, oracle *profile.Oracle) []float64 {
+	n := app.Len()
+	out := make([]float64, n)
+	cfgs := oracle.Space.Configs()
+	if len(cfgs) == 0 {
+		return out
+	}
+	times := make([]float64, n)
+	for _, cfg := range cfgs {
+		var total float64
+		for i := 0; i < n; i++ {
+			fn := oracle.MustTable(app.Stage(i).Function).Fn
+			times[i] = float64(fn.Exec(cfg))
+			total += times[i]
+		}
+		if total <= 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			out[i] += times[i] / total
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(cfgs))
+	}
+	return out
+}
+
+// ANLFromBase computes ANL using only the stages' minimum-configuration
+// times. Cheaper than ANL and equivalent when all functions share scaling
+// parameters; exported for tests and tools.
+func ANLFromBase(app *workflow.App, reg *profile.Registry) []float64 {
+	n := app.Len()
+	out := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		fn := reg.MustLookup(app.Stage(i).Function)
+		out[i] = float64(fn.Exec(profile.MinConfig))
+		total += out[i]
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// ErrNotReducible is returned when the DAG is not hierarchically reducible
+// in the sense of Fig. 4 (a branch point whose join structure cannot be
+// reduced to a list).
+type ErrNotReducible struct {
+	Stage  int
+	Reason string
+}
+
+func (e *ErrNotReducible) Error() string {
+	return fmt.Sprintf("dominator: DAG not hierarchically reducible at stage %d: %s", e.Stage, e.Reason)
+}

@@ -1,0 +1,243 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): each experiment builds the workloads and scenarios it
+// needs, runs the emulation through internal/controller, and renders the
+// same rows/series the paper reports. cmd/esgbench and the repository's
+// bench_test.go are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/esg-sched/esg/internal/baselines/aquatope"
+	"github.com/esg-sched/esg/internal/baselines/fastgshare"
+	"github.com/esg-sched/esg/internal/baselines/infless"
+	"github.com/esg-sched/esg/internal/baselines/orion"
+	"github.com/esg-sched/esg/internal/controller"
+	"github.com/esg-sched/esg/internal/core"
+	"github.com/esg-sched/esg/internal/metrics"
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/rng"
+	"github.com/esg-sched/esg/internal/sched"
+	"github.com/esg-sched/esg/internal/workflow"
+	"github.com/esg-sched/esg/internal/workload"
+)
+
+// Scheduler names accepted by NewScheduler and the Runner.
+const (
+	ESG        = "ESG"
+	ESGNoShare = "ESG-noshare"
+	ESGNoBatch = "ESG-nobatch"
+	INFless    = "INFless"
+	FaSTGShare = "FaST-GShare"
+	Orion      = "Orion"
+	Aquatope   = "Aquatope"
+)
+
+// Comparison lists the five schedulers of the paper's evaluation in its
+// reporting order.
+var Comparison = []string{ESG, INFless, FaSTGShare, Orion, Aquatope}
+
+// Setting is one of the paper's three workload/SLO pairings (§4.1).
+type Setting struct {
+	Name  string
+	Level workload.Level
+	SLO   workflow.SLOLevel
+}
+
+// Settings returns strict-light, moderate-normal and relaxed-heavy.
+func Settings() []Setting {
+	return []Setting{
+		{Name: "strict-light", Level: workload.Light, SLO: workflow.Strict},
+		{Name: "moderate-normal", Level: workload.Normal, SLO: workflow.Moderate},
+		{Name: "relaxed-heavy", Level: workload.Heavy, SLO: workflow.Relaxed},
+	}
+}
+
+// baseRequests sizes traces so each level spans ≈120 s of simulated time,
+// leaving ≥70 s of measurement after the 50 s warm-up window.
+func baseRequests(level workload.Level) int {
+	switch level {
+	case workload.Light:
+		return 2240
+	case workload.Normal:
+		return 4480
+	default:
+		return 8800
+	}
+}
+
+// NewScheduler builds a scheduler by name. seed drives Aquatope's offline
+// training.
+func NewScheduler(name string, seed uint64) (sched.Scheduler, error) {
+	switch strings.ToLower(name) {
+	case "esg":
+		return core.New(), nil
+	case "esg-noshare":
+		return core.New(core.WithoutGPUSharing()), nil
+	case "esg-nobatch":
+		return core.New(core.WithoutBatching()), nil
+	case "infless":
+		return infless.New(), nil
+	case "fast-gshare", "fastgshare":
+		return fastgshare.New(), nil
+	case "orion":
+		return orion.New(), nil
+	case "aquatope":
+		return aquatope.New(seed), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+	}
+}
+
+// Runner executes scenarios and caches results, so experiments sharing a
+// scenario (Figs. 6, 7, 8, 10 and Table 4) run it once.
+type Runner struct {
+	// Seed drives trace generation, noise and offline training.
+	Seed uint64
+	// Scale multiplies trace sizes; 1.0 reproduces the full evaluation,
+	// smaller values give quick smoke runs.
+	Scale float64
+	// Noise is the performance-variation model (default 5%).
+	Noise profile.Noise
+	// Overhead is how scheduling overhead is charged (default: measured
+	// wall clock, as the paper does).
+	Overhead sched.OverheadMode
+	// Log receives progress lines (nil for silence).
+	Log io.Writer
+
+	cache map[string]*metrics.Result
+}
+
+// NewRunner returns a Runner with the paper's defaults.
+func NewRunner(seed uint64, scale float64) *Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Runner{
+		Seed:     seed,
+		Scale:    scale,
+		Noise:    profile.DefaultNoise(),
+		Overhead: sched.OverheadMeasured,
+		cache:    make(map[string]*metrics.Result),
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// Requests returns the trace size for a level at the runner's scale.
+func (r *Runner) Requests(level workload.Level) int {
+	n := int(float64(baseRequests(level)) * r.Scale)
+	if n < 40 {
+		n = 40
+	}
+	return n
+}
+
+// Trace generates the deterministic request trace of a level.
+func (r *Runner) Trace(level workload.Level) *workload.Trace {
+	return workload.Generate(level, r.Requests(level), len(workflow.EvaluationApps()), rng.New(r.Seed))
+}
+
+// config assembles the controller configuration for a setting, scaling the
+// warm-up window with the trace when running below full scale.
+func (r *Runner) config(level workload.Level, slo workflow.SLOLevel) controller.Config {
+	cfg := controller.Config{
+		SLOLevel: slo,
+		Noise:    r.Noise,
+		Overhead: r.Overhead,
+		Seed:     r.Seed,
+	}
+	if r.Scale < 1 {
+		tr := r.Trace(level)
+		warm := time.Duration(0.4 * float64(tr.Duration()))
+		if warm < time.Second {
+			warm = time.Second
+		}
+		cfg.WarmupTime = warm
+	}
+	return cfg
+}
+
+// Result runs (or returns the cached result of) one scenario.
+func (r *Runner) Result(schedName string, level workload.Level, slo workflow.SLOLevel) (*metrics.Result, error) {
+	key := fmt.Sprintf("%s/%s/%s", schedName, level, slo)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	s, err := NewScheduler(schedName, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("running %s ...", key)
+	start := time.Now()
+	res, err := controller.Run(r.config(level, slo), s, r.Trace(level))
+	if err != nil {
+		return nil, err
+	}
+	r.logf("  %s (%.1fs wall)", res.Summary(), time.Since(start).Seconds())
+	r.cache[key] = res
+	return res, nil
+}
+
+// ResultWith runs a scenario with a custom scheduler instance (used by the
+// sensitivity and ablation sweeps) and caches it under the given key.
+func (r *Runner) ResultWith(key string, s sched.Scheduler, level workload.Level, slo workflow.SLOLevel) (*metrics.Result, error) {
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	r.logf("running %s ...", key)
+	start := time.Now()
+	res, err := controller.Run(r.config(level, slo), s, r.Trace(level))
+	if err != nil {
+		return nil, err
+	}
+	r.logf("  %s (%.1fs wall)", res.Summary(), time.Since(start).Seconds())
+	r.cache[key] = res
+	return res, nil
+}
+
+// Table is a printable experiment artifact: the rows/series of one paper
+// table or figure.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pct(x float64) string        { return fmt.Sprintf("%.1f%%", 100*x) }
+func ms(d time.Duration) string   { return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond)) }
+func msF(f float64) string        { return fmt.Sprintf("%.1f", f) }
+func msF3(f float64) string       { return fmt.Sprintf("%.3f", f) }
+func norm(x, base float64) string { return fmt.Sprintf("%.2f", x/base) }

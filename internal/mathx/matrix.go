@@ -1,0 +1,132 @@
+// Package mathx provides the small dense linear-algebra kernel the
+// Gaussian-process surrogate needs: symmetric positive-definite matrices,
+// Cholesky factorization, and triangular solves. Stdlib only.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("mathx: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to m[i,j].
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite A. It returns an error when A is not
+// (numerically) positive definite.
+type Cholesky struct {
+	L *Matrix
+}
+
+// NewCholesky factorizes a. Only the lower triangle of a is read.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mathx: cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("mathx: matrix not positive definite at pivot %d (%g)", i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// SolveVec solves A·x = b using the factorization (forward then backward
+// substitution) and returns x.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mathx: solve with b of length %d for n=%d", len(b), n))
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.L.At(i, k) * y[k]
+		}
+		y[i] = sum / c.L.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= c.L.At(k, i) * x[k]
+		}
+		x[i] = sum / c.L.At(i, i)
+	}
+	return x
+}
+
+// ForwardSolve solves L·y = b and returns y.
+func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mathx: forward solve with b of length %d for n=%d", len(b), n))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.L.At(i, k) * y[k]
+		}
+		y[i] = sum / c.L.At(i, i)
+	}
+	return y
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: dot of different-length vectors")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// NormalPDF is the standard normal density.
+func NormalPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// NormalCDF is the standard normal cumulative distribution.
+func NormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

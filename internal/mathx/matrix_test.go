@@ -1,0 +1,151 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,√2]].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("factorize: %v", err)
+	}
+	if math.Abs(ch.L.At(0, 0)-2) > 1e-12 ||
+		math.Abs(ch.L.At(1, 0)-1) > 1e-12 ||
+		math.Abs(ch.L.At(1, 1)-math.Sqrt2) > 1e-12 {
+		t.Errorf("L = %v", ch.L.Data)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// Solve A·x = b for A = [[4,2],[2,3]], b = [10, 8] → x = [7/4, 3/2].
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.SolveVec([]float64{10, 8})
+	if math.Abs(x[0]-1.75) > 1e-12 || math.Abs(x[1]-1.5) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err == nil {
+		t.Errorf("non-SPD matrix factorized")
+	}
+	b := NewMatrix(2, 3)
+	if _, err := NewCholesky(b); err == nil {
+		t.Errorf("non-square matrix factorized")
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	// Random SPD matrices (A = MᵀM + n·I) solve correctly.
+	f := func(seedVals []float64) bool {
+		n := 4
+		if len(seedVals) < n*n+n {
+			return true
+		}
+		m := NewMatrix(n, n)
+		for i := 0; i < n*n; i++ {
+			v := seedVals[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0.5
+			}
+			m.Data[i] = math.Mod(v, 3)
+		}
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += m.At(k, i) * m.At(k, j)
+				}
+				if i == j {
+					s += float64(n)
+				}
+				a.Set(i, j, s)
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			v := seedVals[n*n+i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			b[i] = math.Mod(v, 5)
+		}
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := ch.SolveVec(b)
+		// Verify A·x ≈ b.
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * x[j]
+			}
+			if math.Abs(s-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardSolve(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	ch, _ := NewCholesky(a)
+	y := ch.ForwardSolve([]float64{2, 1})
+	// L = [[2,0],[1,√2]]; y0 = 1; y1 = (1−1)/√2 = 0.
+	if math.Abs(y[0]-1) > 1e-12 || math.Abs(y[1]) > 1e-12 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Errorf("dot product wrong")
+	}
+}
+
+func TestNormalDistributionFunctions(t *testing.T) {
+	if math.Abs(NormalCDF(0)-0.5) > 1e-12 {
+		t.Errorf("Φ(0) = %v", NormalCDF(0))
+	}
+	if math.Abs(NormalCDF(1.6449)-0.95) > 1e-3 {
+		t.Errorf("Φ(1.6449) = %v", NormalCDF(1.6449))
+	}
+	if math.Abs(NormalPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Errorf("φ(0) = %v", NormalPDF(0))
+	}
+	// Symmetry.
+	if math.Abs(NormalCDF(-2)+NormalCDF(2)-1) > 1e-12 {
+		t.Errorf("CDF not symmetric")
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"github.com/esg-sched/esg/internal/stats"
+)
+
+// Export is the JSON-friendly projection of a Result: everything a
+// downstream plotting script needs, with durations in milliseconds and
+// money in cents.
+type Export struct {
+	Scheduler string  `json:"scheduler"`
+	Workload  string  `json:"workload"`
+	SLOLevel  string  `json:"slo_level"`
+	Instances int     `json:"instances"`
+	HitRate   float64 `json:"hit_rate"`
+	CostCents float64 `json:"cost_cents"`
+	UtilCPU   float64 `json:"util_cpu"`
+	UtilGPU   float64 `json:"util_gpu"`
+
+	Tasks        int     `json:"tasks"`
+	ForcedMin    int     `json:"forced_min"`
+	ColdStarts   int     `json:"cold_starts"`
+	WarmStarts   int     `json:"warm_starts"`
+	ConfigMisses int     `json:"config_misses"`
+	MissRate     float64 `json:"miss_rate"`
+
+	OverheadMS OverheadStats `json:"overhead_ms"`
+	PerApp     []AppExport   `json:"per_app"`
+}
+
+// OverheadStats is the box summary of scheduling overheads.
+type OverheadStats struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+}
+
+// AppExport is one application's exported metrics.
+type AppExport struct {
+	Name        string    `json:"name"`
+	Instances   int       `json:"instances"`
+	HitRate     float64   `json:"hit_rate"`
+	CostCents   float64   `json:"cost_cents"`
+	MeanMS      float64   `json:"mean_ms"`
+	P50MS       float64   `json:"p50_ms"`
+	P95MS       float64   `json:"p95_ms"`
+	SLOMS       float64   `json:"slo_ms"`
+	LatenciesMS []float64 `json:"latencies_ms,omitempty"`
+}
+
+// ToExport builds the JSON projection. includeSeries controls whether the
+// full per-instance latency series (Fig. 7's raw data) is attached.
+func (r *Result) ToExport(includeSeries bool) Export {
+	box := r.OverheadBox()
+	e := Export{
+		Scheduler:    r.Scheduler,
+		Workload:     r.Workload,
+		SLOLevel:     r.SLOLevel,
+		Instances:    r.Instances,
+		HitRate:      r.HitRate,
+		CostCents:    r.TotalCost.Cents(),
+		UtilCPU:      r.UtilCPU,
+		UtilGPU:      r.UtilGPU,
+		Tasks:        r.Tasks,
+		ForcedMin:    r.ForcedMin,
+		ColdStarts:   r.ColdStarts,
+		WarmStarts:   r.WarmStarts,
+		ConfigMisses: r.ConfigMisses,
+		MissRate:     r.MissRate(),
+		OverheadMS: OverheadStats{
+			N: box.N, Min: box.Min, Median: box.Median, Mean: box.Mean, Max: box.Max,
+		},
+	}
+	for _, a := range r.PerApp {
+		ae := AppExport{
+			Name:      a.Name,
+			Instances: a.Instances,
+			HitRate:   a.HitRate,
+			CostCents: a.Cost.Cents(),
+			MeanMS:    a.MeanLatencyMS,
+			P50MS:     a.P50MS,
+			P95MS:     a.P95MS,
+			SLOMS:     a.SLOMS,
+		}
+		if includeSeries {
+			ae.LatenciesMS = stats.DurationsToMillis(a.Latencies)
+		}
+		e.PerApp = append(e.PerApp, ae)
+	}
+	return e
+}
+
+// WriteJSON writes the exported result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer, includeSeries bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.ToExport(includeSeries))
+}
+
+// TimelineBucket aggregates completed instances by arrival-time bucket —
+// the convergence view used to verify steady state.
+type TimelineBucket struct {
+	Start     time.Duration `json:"start_ms"`
+	Instances int           `json:"instances"`
+	Hits      int           `json:"hits"`
+	MeanMS    float64       `json:"mean_ms"`
+}
+
+// Timeline buckets all records (including warm-up instances) by arrival
+// time with the given bucket width.
+func (r *Result) Timeline(width time.Duration) []TimelineBucket {
+	if width <= 0 {
+		width = 10 * time.Second
+	}
+	byBucket := map[int]*TimelineBucket{}
+	max := 0
+	for _, rec := range r.Records {
+		b := int(rec.Arrival / width)
+		tb := byBucket[b]
+		if tb == nil {
+			tb = &TimelineBucket{Start: time.Duration(b) * width}
+			byBucket[b] = tb
+		}
+		tb.Instances++
+		tb.MeanMS += float64(rec.Latency) / float64(time.Millisecond)
+		if rec.Hit {
+			tb.Hits++
+		}
+		if b > max {
+			max = b
+		}
+	}
+	var out []TimelineBucket
+	for b := 0; b <= max; b++ {
+		tb := byBucket[b]
+		if tb == nil {
+			continue
+		}
+		tb.MeanMS /= float64(tb.Instances)
+		out = append(out, *tb)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+func sampleResult(t *testing.T) *Result {
+	t.Helper()
+	apps := []*workflow.App{workflow.Chain("a", "f1", "f2")}
+	c := NewCollector("ESG", "light", "strict", apps)
+	c.RecordInstance(doneInstance(apps[0], 0, 0, 400*time.Millisecond, 500*time.Millisecond, false, 100))
+	c.RecordInstance(doneInstance(apps[0], 0, 10*time.Second, 600*time.Millisecond, 500*time.Millisecond, false, 150))
+	c.RecordPlan(2*time.Millisecond, true, true)
+	c.RecordDispatch(false)
+	return c.Finalize(1, 5, 0, 0.4, 0.3, time.Minute)
+}
+
+func TestExportRoundTripsThroughJSON(t *testing.T) {
+	r := sampleResult(t)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, true); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var e Export
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if e.Scheduler != "ESG" || e.Instances != 2 || e.HitRate != 0.5 {
+		t.Errorf("export = %+v", e)
+	}
+	if len(e.PerApp) != 1 || len(e.PerApp[0].LatenciesMS) != 2 {
+		t.Errorf("per-app export = %+v", e.PerApp)
+	}
+	if e.MissRate != 1 {
+		t.Errorf("miss rate = %v", e.MissRate)
+	}
+}
+
+func TestExportWithoutSeries(t *testing.T) {
+	e := sampleResult(t).ToExport(false)
+	if len(e.PerApp[0].LatenciesMS) != 0 {
+		t.Errorf("series attached despite includeSeries=false")
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	r := sampleResult(t)
+	buckets := r.Timeline(5 * time.Second)
+	if len(buckets) != 2 {
+		t.Fatalf("%d buckets, want 2 (arrivals at 0s and 10s)", len(buckets))
+	}
+	if buckets[0].Instances != 1 || buckets[0].Hits != 1 {
+		t.Errorf("bucket 0 = %+v", buckets[0])
+	}
+	if buckets[1].Hits != 0 {
+		t.Errorf("bucket 1 = %+v", buckets[1])
+	}
+	if buckets[0].MeanMS != 400 {
+		t.Errorf("bucket 0 mean = %v", buckets[0].MeanMS)
+	}
+	// Zero width defaults sanely.
+	if got := r.Timeline(0); len(got) == 0 {
+		t.Errorf("default-width timeline empty")
+	}
+}

@@ -1,0 +1,218 @@
+// Package metrics collects and summarizes the quantities the paper's
+// evaluation reports: SLO hit rates and resource costs (Figs. 6 and 8),
+// per-application end-to-end latency series (Fig. 7), scheduling-overhead
+// distributions (Fig. 10), pre-planned configuration miss rates (Table 4),
+// and cold/warm start and utilization diagnostics.
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/esg-sched/esg/internal/queue"
+	"github.com/esg-sched/esg/internal/stats"
+	"github.com/esg-sched/esg/internal/units"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+// InstanceRecord is the outcome of one completed workflow instance.
+type InstanceRecord struct {
+	AppIndex  int
+	Arrival   time.Duration
+	Completed time.Duration
+	Latency   time.Duration
+	SLO       time.Duration
+	Hit       bool
+	Cost      units.Money
+	Warmup    bool
+}
+
+// AppSummary aggregates one application's measured instances.
+type AppSummary struct {
+	Name      string
+	Instances int
+	Hits      int
+	HitRate   float64
+	Cost      units.Money
+	// Latency statistics in milliseconds over measured instances.
+	MeanLatencyMS float64
+	P50MS         float64
+	P95MS         float64
+	P99MS         float64
+	SLOMS         float64
+	// Latencies holds measured end-to-end latencies in completion order
+	// (Fig. 7's series).
+	Latencies []time.Duration
+}
+
+// Result is the full outcome of one emulation run.
+type Result struct {
+	Scheduler string
+	Workload  string
+	SLOLevel  string
+
+	// Records lists every completed instance in completion order
+	// (including warm-up instances, which are flagged).
+	Records []InstanceRecord
+	PerApp  []AppSummary
+
+	// Aggregates over measured (non-warm-up) instances.
+	Instances  int
+	Hits       int
+	HitRate    float64
+	TotalCost  units.Money
+	MeanCost   units.Money
+	Unfinished int
+
+	// Scheduling diagnostics.
+	Overheads       []time.Duration
+	Tasks           int
+	ForcedMin       int
+	PrePlannedPlans int
+	ConfigMisses    int
+	ColdStarts      int
+	WarmStarts      int
+
+	UtilCPU float64
+	UtilGPU float64
+	SimTime time.Duration
+}
+
+// MissRate returns the pre-planned configuration miss rate (Table 4).
+func (r *Result) MissRate() float64 {
+	if r.PrePlannedPlans == 0 {
+		return 0
+	}
+	return float64(r.ConfigMisses) / float64(r.PrePlannedPlans)
+}
+
+// OverheadBox summarizes the scheduling-overhead distribution in
+// milliseconds (Fig. 10).
+func (r *Result) OverheadBox() stats.Box {
+	return stats.BoxOf(stats.DurationsToMillis(r.Overheads))
+}
+
+// Summary renders a one-line result digest.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s/%s/%s: hit=%.1f%% cost=%s n=%d unfinished=%d cold=%d warm=%d",
+		r.Scheduler, r.Workload, r.SLOLevel, 100*r.HitRate, r.TotalCost, r.Instances,
+		r.Unfinished, r.ColdStarts, r.WarmStarts)
+}
+
+// Collector accumulates observations during a run.
+type Collector struct {
+	scheduler string
+	workload  string
+	sloLevel  string
+	apps      []*workflow.App
+
+	records   []InstanceRecord
+	overheads []time.Duration
+
+	tasks      int
+	forcedMin  int
+	prePlanned int
+	misses     int
+}
+
+// NewCollector starts collection for one run.
+func NewCollector(scheduler, workload, sloLevel string, apps []*workflow.App) *Collector {
+	return &Collector{scheduler: scheduler, workload: workload, sloLevel: sloLevel, apps: apps}
+}
+
+// RecordPlan notes one scheduler Plan call.
+func (c *Collector) RecordPlan(overhead time.Duration, prePlanned, miss bool) {
+	c.overheads = append(c.overheads, overhead)
+	if prePlanned {
+		c.prePlanned++
+		if miss {
+			c.misses++
+		}
+	}
+}
+
+// RecordDispatch notes one dispatched task.
+func (c *Collector) RecordDispatch(forced bool) {
+	c.tasks++
+	if forced {
+		c.forcedMin++
+	}
+}
+
+// RecordInstance notes one completed workflow instance.
+func (c *Collector) RecordInstance(inst *queue.Instance) {
+	c.records = append(c.records, InstanceRecord{
+		AppIndex:  inst.AppIndex,
+		Arrival:   inst.Arrival,
+		Completed: inst.CompletedAt,
+		Latency:   inst.Latency(),
+		SLO:       inst.SLO,
+		Hit:       inst.SLOHit(),
+		Cost:      inst.Cost,
+		Warmup:    inst.Warmup,
+	})
+}
+
+// Finalize assembles the Result. coldStarts/warmStarts/util/simTime come
+// from the cluster and engine; unfinished counts instances never completed.
+func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, utilGPU float64, simTime time.Duration) *Result {
+	r := &Result{
+		Scheduler:       c.scheduler,
+		Workload:        c.workload,
+		SLOLevel:        c.sloLevel,
+		Records:         c.records,
+		Overheads:       c.overheads,
+		Tasks:           c.tasks,
+		ForcedMin:       c.forcedMin,
+		PrePlannedPlans: c.prePlanned,
+		ConfigMisses:    c.misses,
+		ColdStarts:      coldStarts,
+		WarmStarts:      warmStarts,
+		Unfinished:      unfinished,
+		UtilCPU:         utilCPU,
+		UtilGPU:         utilGPU,
+		SimTime:         simTime,
+	}
+
+	perApp := make([]AppSummary, len(c.apps))
+	for i, app := range c.apps {
+		perApp[i].Name = app.Name
+	}
+	var totalCost units.Money
+	for _, rec := range r.Records {
+		if rec.Warmup {
+			continue
+		}
+		s := &perApp[rec.AppIndex]
+		s.Instances++
+		s.Cost += rec.Cost
+		s.SLOMS = float64(rec.SLO) / float64(time.Millisecond)
+		s.Latencies = append(s.Latencies, rec.Latency)
+		if rec.Hit {
+			s.Hits++
+		}
+		r.Instances++
+		totalCost += rec.Cost
+		if rec.Hit {
+			r.Hits++
+		}
+	}
+	for i := range perApp {
+		s := &perApp[i]
+		if s.Instances > 0 {
+			s.HitRate = float64(s.Hits) / float64(s.Instances)
+			ms := stats.DurationsToMillis(s.Latencies)
+			s.MeanLatencyMS = stats.Mean(ms)
+			s.P50MS = stats.Percentile(ms, 50)
+			s.P95MS = stats.Percentile(ms, 95)
+			s.P99MS = stats.Percentile(ms, 99)
+		}
+	}
+	r.PerApp = perApp
+	r.TotalCost = totalCost
+	if r.Instances > 0 {
+		r.HitRate = float64(r.Hits) / float64(r.Instances)
+		r.MeanCost = totalCost / units.Money(r.Instances)
+	}
+	return r
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/queue"
+	"github.com/esg-sched/esg/internal/units"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+func doneInstance(app *workflow.App, appIdx int, arrival, latency, slo time.Duration, warmup bool, cost units.Money) *queue.Instance {
+	inst := queue.NewInstance(0, appIdx, app, arrival, slo)
+	inst.Warmup = warmup
+	inst.AddCost(cost)
+	step := latency / time.Duration(app.Len())
+	for s := 0; s < app.Len(); s++ {
+		at := arrival + step*time.Duration(s+1)
+		if s == app.Len()-1 {
+			at = arrival + latency
+		}
+		inst.CompleteStage(s, 0, at)
+	}
+	return inst
+}
+
+func TestCollectorAggregation(t *testing.T) {
+	apps := []*workflow.App{workflow.Chain("a", "f1", "f2"), workflow.Chain("b", "f3")}
+	c := NewCollector("ESG", "light", "strict", apps)
+
+	// Two measured hits and one measured miss for app 0; one warm-up
+	// instance that must not count.
+	c.RecordInstance(doneInstance(apps[0], 0, 0, 400*time.Millisecond, 500*time.Millisecond, false, 100))
+	c.RecordInstance(doneInstance(apps[0], 0, 0, 450*time.Millisecond, 500*time.Millisecond, false, 150))
+	c.RecordInstance(doneInstance(apps[0], 0, 0, 600*time.Millisecond, 500*time.Millisecond, false, 200))
+	c.RecordInstance(doneInstance(apps[0], 0, 0, 900*time.Millisecond, 500*time.Millisecond, true, 999))
+	c.RecordInstance(doneInstance(apps[1], 1, 0, 100*time.Millisecond, 200*time.Millisecond, false, 50))
+
+	c.RecordPlan(2*time.Millisecond, true, true)
+	c.RecordPlan(3*time.Millisecond, true, false)
+	c.RecordPlan(time.Millisecond, false, false)
+	c.RecordDispatch(false)
+	c.RecordDispatch(true)
+
+	r := c.Finalize(5, 20, 1, 0.5, 0.6, time.Minute)
+
+	if r.Instances != 4 {
+		t.Errorf("measured instances = %d, want 4", r.Instances)
+	}
+	if r.Hits != 3 {
+		t.Errorf("hits = %d, want 3", r.Hits)
+	}
+	if r.HitRate != 0.75 {
+		t.Errorf("hit rate = %v", r.HitRate)
+	}
+	if r.TotalCost != 500 {
+		t.Errorf("total cost = %v, want 500 (warm-up excluded)", r.TotalCost)
+	}
+	if len(r.Records) != 5 {
+		t.Errorf("records = %d, want 5 (warm-up included but flagged)", len(r.Records))
+	}
+
+	a0 := r.PerApp[0]
+	if a0.Instances != 3 || a0.Hits != 2 {
+		t.Errorf("app0 = %d instances, %d hits", a0.Instances, a0.Hits)
+	}
+	if a0.MeanLatencyMS < 480 || a0.MeanLatencyMS > 487 {
+		t.Errorf("app0 mean latency = %v", a0.MeanLatencyMS)
+	}
+	if len(a0.Latencies) != 3 {
+		t.Errorf("app0 series length = %d", len(a0.Latencies))
+	}
+
+	if r.PrePlannedPlans != 2 || r.ConfigMisses != 1 {
+		t.Errorf("preplanned=%d misses=%d", r.PrePlannedPlans, r.ConfigMisses)
+	}
+	if r.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", r.MissRate())
+	}
+	if r.Tasks != 2 || r.ForcedMin != 1 {
+		t.Errorf("tasks=%d forced=%d", r.Tasks, r.ForcedMin)
+	}
+	if r.ColdStarts != 5 || r.WarmStarts != 20 || r.Unfinished != 1 {
+		t.Errorf("cold/warm/unfinished wrong")
+	}
+	box := r.OverheadBox()
+	if box.N != 3 || box.Max != 3 {
+		t.Errorf("overhead box = %+v", box)
+	}
+	if !strings.Contains(r.Summary(), "ESG/light/strict") {
+		t.Errorf("summary = %q", r.Summary())
+	}
+}
+
+func TestMissRateNoPlans(t *testing.T) {
+	c := NewCollector("x", "light", "strict", nil)
+	r := c.Finalize(0, 0, 0, 0, 0, 0)
+	if r.MissRate() != 0 {
+		t.Errorf("miss rate with no pre-planned plans = %v", r.MissRate())
+	}
+	if r.HitRate != 0 || r.MeanCost != 0 {
+		t.Errorf("empty result has non-zero rates")
+	}
+}

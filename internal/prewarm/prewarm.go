@@ -1,0 +1,121 @@
+// Package prewarm implements the lightweight pre-warming policy of §4: an
+// exponential weighted moving average (EWMA) over observed invocation
+// intervals predicts the next invocation of each function, and the platform
+// warms a container ahead of it so the invocation finds a warm start.
+package prewarm
+
+import "time"
+
+// DefaultAlpha is the EWMA smoothing factor.
+const DefaultAlpha = 0.3
+
+// Predictor tracks invocation intervals of one (function, queue) stream.
+type Predictor struct {
+	alpha float64
+	last  time.Duration
+	est   time.Duration
+	seen  int
+}
+
+// NewPredictor returns a predictor with the given smoothing factor
+// (DefaultAlpha if alpha <= 0 or >= 1).
+func NewPredictor(alpha float64) *Predictor {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = DefaultAlpha
+	}
+	return &Predictor{alpha: alpha}
+}
+
+// Observe records an invocation at time now and updates the interval EWMA.
+func (p *Predictor) Observe(now time.Duration) {
+	if p.seen > 0 {
+		iv := now - p.last
+		if iv < 0 {
+			iv = 0
+		}
+		if p.seen == 1 {
+			p.est = iv
+		} else {
+			p.est = time.Duration(p.alpha*float64(iv) + (1-p.alpha)*float64(p.est))
+		}
+	}
+	p.last = now
+	p.seen++
+}
+
+// PredictNext returns the predicted time of the next invocation. It reports
+// ok=false until two observations exist (no interval estimate yet).
+func (p *Predictor) PredictNext() (at time.Duration, ok bool) {
+	if p.seen < 2 {
+		return 0, false
+	}
+	return p.last + p.est, true
+}
+
+// Interval returns the current EWMA interval estimate (0 until two
+// observations).
+func (p *Predictor) Interval() time.Duration { return p.est }
+
+// Observations returns the number of recorded invocations.
+func (p *Predictor) Observations() int { return p.seen }
+
+// PoolPlanner sizes a function's warm-container pool from its observed task
+// stream: by Little's law the expected number of concurrently running
+// tasks is (task duration) / (task inter-arrival interval). The planner
+// tracks EWMAs of both per queue and recommends a pool size with headroom,
+// so sustained demand never has to pay the multi-second cold starts of
+// Table 3.
+type PoolPlanner struct {
+	intervals *Predictor
+	duration  time.Duration
+	durSeen   int
+	alpha     float64
+	// Headroom is the multiplicative safety factor on the concurrency
+	// estimate (default 1.5).
+	Headroom float64
+}
+
+// NewPoolPlanner returns a planner with the given EWMA factor.
+func NewPoolPlanner(alpha float64) *PoolPlanner {
+	return &PoolPlanner{
+		intervals: NewPredictor(alpha),
+		alpha:     alpha,
+		Headroom:  1.5,
+	}
+}
+
+// ObserveDispatch records a task dispatch at time now.
+func (p *PoolPlanner) ObserveDispatch(now time.Duration) { p.intervals.Observe(now) }
+
+// ObserveDuration records a completed task's duration.
+func (p *PoolPlanner) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if p.durSeen == 0 {
+		p.duration = d
+	} else {
+		a := p.alpha
+		if a <= 0 || a >= 1 {
+			a = DefaultAlpha
+		}
+		p.duration = time.Duration(a*float64(d) + (1-a)*float64(p.duration))
+	}
+	p.durSeen++
+}
+
+// Need returns the recommended number of containers for this queue's task
+// stream (0 until both interval and duration estimates exist).
+func (p *PoolPlanner) Need() int {
+	iv := p.intervals.Interval()
+	if iv <= 0 || p.durSeen == 0 || p.intervals.Observations() < 2 {
+		return 0
+	}
+	concurrency := float64(p.duration) / float64(iv)
+	h := p.Headroom
+	if h < 1 {
+		h = 1
+	}
+	n := int(concurrency*h) + 1
+	return n
+}

@@ -1,0 +1,93 @@
+package prewarm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPredictorNeedsTwoObservations(t *testing.T) {
+	p := NewPredictor(0.3)
+	if _, ok := p.PredictNext(); ok {
+		t.Errorf("prediction with zero observations")
+	}
+	p.Observe(100 * time.Millisecond)
+	if _, ok := p.PredictNext(); ok {
+		t.Errorf("prediction with one observation")
+	}
+	p.Observe(200 * time.Millisecond)
+	next, ok := p.PredictNext()
+	if !ok {
+		t.Fatalf("no prediction after two observations")
+	}
+	if next != 300*time.Millisecond {
+		t.Errorf("next = %v, want 300ms", next)
+	}
+}
+
+func TestPredictorEWMA(t *testing.T) {
+	p := NewPredictor(0.5)
+	p.Observe(0)
+	p.Observe(100 * time.Millisecond) // est = 100ms
+	p.Observe(300 * time.Millisecond) // est = 0.5·200 + 0.5·100 = 150ms
+	if got := p.Interval(); got != 150*time.Millisecond {
+		t.Errorf("EWMA interval = %v, want 150ms", got)
+	}
+	if p.Observations() != 3 {
+		t.Errorf("observations = %d", p.Observations())
+	}
+}
+
+func TestPredictorClampsNegativeIntervals(t *testing.T) {
+	p := NewPredictor(0.3)
+	p.Observe(time.Second)
+	p.Observe(500 * time.Millisecond) // time went backwards: clamp to 0
+	if p.Interval() != 0 {
+		t.Errorf("negative interval not clamped: %v", p.Interval())
+	}
+}
+
+func TestPredictorBadAlphaDefaults(t *testing.T) {
+	for _, alpha := range []float64{-1, 0, 1, 2} {
+		p := NewPredictor(alpha)
+		if p.alpha != DefaultAlpha {
+			t.Errorf("alpha %v not defaulted: %v", alpha, p.alpha)
+		}
+	}
+}
+
+func TestPoolPlannerLittlesLaw(t *testing.T) {
+	p := NewPoolPlanner(0.3)
+	if p.Need() != 0 {
+		t.Errorf("fresh planner recommends %d", p.Need())
+	}
+	// Tasks every 100ms, each taking 400ms → concurrency 4, with 1.5×
+	// headroom and +1 → 7.
+	for i := 0; i < 50; i++ {
+		p.ObserveDispatch(time.Duration(i) * 100 * time.Millisecond)
+		p.ObserveDuration(400 * time.Millisecond)
+	}
+	need := p.Need()
+	if need < 6 || need > 8 {
+		t.Errorf("need = %d, want ≈7", need)
+	}
+}
+
+func TestPoolPlannerLowLoad(t *testing.T) {
+	p := NewPoolPlanner(0.3)
+	// Tasks every second taking 50ms → concurrency 0.05 → need 1.
+	for i := 0; i < 10; i++ {
+		p.ObserveDispatch(time.Duration(i) * time.Second)
+		p.ObserveDuration(50 * time.Millisecond)
+	}
+	if need := p.Need(); need != 1 {
+		t.Errorf("need = %d, want 1", need)
+	}
+}
+
+func TestPoolPlannerNegativeDurationClamped(t *testing.T) {
+	p := NewPoolPlanner(0.3)
+	p.ObserveDuration(-time.Second)
+	if p.duration != 0 {
+		t.Errorf("negative duration stored: %v", p.duration)
+	}
+}

@@ -1,0 +1,58 @@
+// Package pricing implements the resource pricing model of §4.1: vCPUs are
+// billed at the AWS EC2-derived rate of $0.034/hour and vGPUs at $0.67/hour
+// (a full GPU's price divided by the number of MIG instances).
+//
+// A task's cost is (c·pCPU + g·pGPU) × wallTime; the per-job cost divides by
+// the batch size, matching the worked example in Fig. 3(a):
+// (0.04·4 + 0.8)·0.9/2 = 0.43¢ per job.
+package pricing
+
+import (
+	"time"
+
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// Model prices resource reservations over time.
+type Model struct {
+	// CPURate is the price of one vCPU-second.
+	CPURate units.Rate
+	// GPURate is the price of one vGPU-second.
+	GPURate units.Rate
+}
+
+// Default returns the paper's evaluation pricing (§4.1).
+func Default() Model {
+	return Model{
+		CPURate: units.RatePerHour(0.034),
+		GPURate: units.RatePerHour(0.67),
+	}
+}
+
+// Illustrative returns the pricing used in the Fig. 3 worked example
+// (1 vCPU: 0.04¢/s, 1 vGPU: 0.8¢/s). Useful for tests that check the
+// paper's arithmetic.
+func Illustrative() Model {
+	return Model{
+		CPURate: units.Rate(0.04 * float64(units.Cent)),
+		GPURate: units.Rate(0.8 * float64(units.Cent)),
+	}
+}
+
+// RateFor returns the combined billing rate of a resource vector.
+func (m Model) RateFor(r units.Resources) units.Rate {
+	return units.Rate(int64(m.CPURate)*int64(r.CPU) + int64(m.GPURate)*int64(r.GPU))
+}
+
+// TaskCost returns the total cost of holding r for d.
+func (m Model) TaskCost(r units.Resources, d time.Duration) units.Money {
+	return m.RateFor(r).Cost(d)
+}
+
+// JobCost returns the per-job share of a batched task's cost.
+func (m Model) JobCost(r units.Resources, d time.Duration, batch int) units.Money {
+	if batch <= 0 {
+		batch = 1
+	}
+	return m.TaskCost(r, d) / units.Money(batch)
+}

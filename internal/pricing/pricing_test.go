@@ -1,0 +1,55 @@
+package pricing
+
+import (
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/units"
+)
+
+func TestDefaultMatchesPaperPrices(t *testing.T) {
+	m := Default()
+	// §4.1: vCPU $0.034/h, vGPU $0.67/h.
+	cpuHour := m.CPURate.Cost(time.Hour).Dollars()
+	gpuHour := m.GPURate.Cost(time.Hour).Dollars()
+	if cpuHour < 0.0339 || cpuHour > 0.0341 {
+		t.Errorf("vCPU hour = $%v, want $0.034", cpuHour)
+	}
+	if gpuHour < 0.6699 || gpuHour > 0.6701 {
+		t.Errorf("vGPU hour = $%v, want $0.67", gpuHour)
+	}
+}
+
+func TestGPUDominatesCost(t *testing.T) {
+	m := Default()
+	if m.GPURate <= m.CPURate {
+		t.Errorf("a vGPU should cost more than a vCPU")
+	}
+}
+
+func TestRateForLinearity(t *testing.T) {
+	m := Default()
+	r1 := m.RateFor(units.Resources{CPU: 1, GPU: 1})
+	r2 := m.RateFor(units.Resources{CPU: 2, GPU: 2})
+	if int64(r2) != 2*int64(r1) {
+		t.Errorf("rate not linear: %v vs 2×%v", r2, r1)
+	}
+}
+
+func TestTaskAndJobCost(t *testing.T) {
+	m := Illustrative() // 0.04¢/s per vCPU, 0.8¢/s per vGPU
+	res := units.Resources{CPU: 4, GPU: 1}
+	task := m.TaskCost(res, 900*time.Millisecond)
+	// (0.16 + 0.8) × 0.9 = 0.864¢ — Fig. 3(a)'s arithmetic.
+	if got := task.Cents(); got < 0.863 || got > 0.865 {
+		t.Errorf("task cost = %v¢", got)
+	}
+	job := m.JobCost(res, 900*time.Millisecond, 2)
+	if got := job.Cents(); got < 0.431 || got > 0.433 {
+		t.Errorf("job cost = %v¢, want 0.432¢", got)
+	}
+	// Batch 0 treated as 1 (defensive).
+	if m.JobCost(res, time.Second, 0) != m.TaskCost(res, time.Second) {
+		t.Errorf("zero batch not defended")
+	}
+}

@@ -1,0 +1,148 @@
+// Package profile models serverless-function performance: configuration
+// spaces over (batch size, #vCPUs, #vGPUs), the six DNN functions of the
+// paper's Table 3, an analytic execution-time model calibrated to those
+// measurements, and the Gaussian noise applied by the emulator.
+//
+// Schedulers consume an Oracle — a precomputed table of (config → time,
+// cost) estimates per function — exactly the "performance profiles of the
+// functions" the paper's Controller uses to estimate path times and costs
+// (§3.3, Fig. 3).
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// Config is one resource assignment for a serverless function invocation:
+// how many jobs to batch into the task, and how many vCPUs and vGPUs the
+// container gets (§3.1).
+type Config struct {
+	Batch int
+	CPU   units.VCPU
+	GPU   units.VGPU
+}
+
+// Resources returns the resource vector the config occupies.
+func (c Config) Resources() units.Resources {
+	return units.Resources{CPU: c.CPU, GPU: c.GPU}
+}
+
+// Valid reports whether every dimension is positive.
+func (c Config) Valid() bool { return c.Batch >= 1 && c.CPU >= 1 && c.GPU >= 1 }
+
+func (c Config) String() string {
+	return fmt.Sprintf("(b=%d,c=%d,g=%d)", c.Batch, c.CPU, c.GPU)
+}
+
+// MinConfig is the minimum configuration (1 vCPU, 1 vGPU, batch 1) that
+// defines the paper's reference latency L (§4.1).
+var MinConfig = Config{Batch: 1, CPU: 1, GPU: 1}
+
+// Space enumerates the options per configuration dimension. The full space
+// is the cross product, so |space| = |Batches|·|CPUs|·|GPUs|.
+type Space struct {
+	Batches []int
+	CPUs    []units.VCPU
+	GPUs    []units.VGPU
+}
+
+// DefaultSpace returns the 256-configuration space referenced by the
+// paper's overhead analysis (§5.3: "each function has 256 configurations"):
+// 8 batch options × 8 vCPU options × 4 vGPU options.
+func DefaultSpace() Space {
+	return Space{
+		Batches: []int{1, 2, 3, 4, 6, 8, 12, 16},
+		CPUs:    []units.VCPU{1, 2, 3, 4, 5, 6, 7, 8},
+		GPUs:    []units.VGPU{1, 2, 4, 7},
+	}
+}
+
+// SmallSpace returns a compact 27-config space for unit tests and the
+// quickstart example.
+func SmallSpace() Space {
+	return Space{
+		Batches: []int{1, 2, 4},
+		CPUs:    []units.VCPU{1, 2, 4},
+		GPUs:    []units.VGPU{1, 2, 4},
+	}
+}
+
+// Size returns the number of configurations in the space.
+func (s Space) Size() int { return len(s.Batches) * len(s.CPUs) * len(s.GPUs) }
+
+// Configs materializes the cross product in deterministic order.
+func (s Space) Configs() []Config {
+	out := make([]Config, 0, s.Size())
+	for _, b := range s.Batches {
+		for _, c := range s.CPUs {
+			for _, g := range s.GPUs {
+				out = append(out, Config{Batch: b, CPU: c, GPU: g})
+			}
+		}
+	}
+	return out
+}
+
+// Contains reports whether cfg is a member of the space.
+func (s Space) Contains(cfg Config) bool {
+	return containsInt(s.Batches, cfg.Batch) &&
+		containsCPU(s.CPUs, cfg.CPU) &&
+		containsGPU(s.GPUs, cfg.GPU)
+}
+
+// MaxBatch returns the largest batch option.
+func (s Space) MaxBatch() int {
+	m := 0
+	for _, b := range s.Batches {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// ClampBatch returns the largest batch option that is <= n (at least the
+// smallest option). Used when a preset batch exceeds the queue length: the
+// dispatcher falls back to the feasible batch and records a config miss
+// (Table 4).
+func (s Space) ClampBatch(n int) int {
+	bs := append([]int(nil), s.Batches...)
+	sort.Ints(bs)
+	best := bs[0]
+	for _, b := range bs {
+		if b <= n {
+			best = b
+		}
+	}
+	return best
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsCPU(xs []units.VCPU, v units.VCPU) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsGPU(xs []units.VGPU, v units.VGPU) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package profile
+
+import (
+	"time"
+
+	"github.com/esg-sched/esg/internal/rng"
+)
+
+// Noise is the runtime performance-variation model (§4: "the emulations add
+// Gaussian noises to the performance"). Every emulated execution draws a
+// multiplicative factor 1 + N(0, σ²), truncated at ±3σ and floored so times
+// stay positive.
+type Noise struct {
+	// Sigma is the relative standard deviation (e.g. 0.06 for 6%).
+	Sigma float64
+	// Floor is the minimum multiplicative factor (default 0.5).
+	Floor float64
+}
+
+// DefaultNoise returns the emulator's default noise model.
+func DefaultNoise() Noise { return Noise{Sigma: 0.05, Floor: 0.5} }
+
+// NoNoise disables performance variation (deterministic runs for tests).
+func NoNoise() Noise { return Noise{Sigma: 0, Floor: 1} }
+
+// Sample perturbs the modelled duration d with one noise draw from src.
+func (n Noise) Sample(d time.Duration, src *rng.Source) time.Duration {
+	if n.Sigma <= 0 {
+		return d
+	}
+	floor := n.Floor
+	if floor <= 0 {
+		floor = 0.5
+	}
+	f := src.TruncatedGaussianFactor(n.Sigma, floor)
+	return time.Duration(float64(d) * f)
+}
+
+// P95Factor returns the multiplicative factor at the 95th percentile of the
+// noise distribution (1 + 1.645σ). Orion's search targets P95 latency
+// (§4.2), which it estimates by scaling the profiled time with this factor.
+func (n Noise) P95Factor() float64 {
+	if n.Sigma <= 0 {
+		return 1
+	}
+	return 1 + 1.645*n.Sigma
+}

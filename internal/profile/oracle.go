@@ -1,0 +1,164 @@
+package profile
+
+import (
+	"sort"
+	"time"
+
+	"github.com/esg-sched/esg/internal/pricing"
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// Estimate is one row of a function's performance profile: a configuration
+// with its modelled execution time and cost. This is what the Controller's
+// schedulers consult ("performance profile of application x", Fig. 2(d)).
+type Estimate struct {
+	Config Config
+	// Time is the modelled task execution time under Config.
+	Time time.Duration
+	// TaskCost is the modelled cost of the whole task.
+	TaskCost units.Money
+	// JobCost is TaskCost divided by the batch size — the per-job cost the
+	// paper's path costs use (Fig. 3(a)).
+	JobCost units.Money
+}
+
+// FunctionTable holds the precomputed estimates of one function over a
+// configuration space, with views sorted by latency and by per-job cost —
+// the two orders the search algorithms iterate in.
+type FunctionTable struct {
+	Fn *Function
+	// ByLatency is sorted ascending by Time (Algorithm 1's ConfigLists).
+	ByLatency []Estimate
+	// ByJobCost is sorted ascending by JobCost.
+	ByJobCost []Estimate
+	// MinTime is the fastest execution time over the space.
+	MinTime time.Duration
+	// MinJobCost is the cheapest per-job cost over the space.
+	MinJobCost units.Money
+	// FastestJobCost is the per-job cost of the fastest configuration —
+	// used by the rscFastest bound in dual-blade pruning.
+	FastestJobCost units.Money
+}
+
+// Oracle binds a registry of functions, a configuration space and a pricing
+// model into precomputed profile tables, one per function.
+type Oracle struct {
+	Space   Space
+	Pricing pricing.Model
+	tables  map[string]*FunctionTable
+}
+
+// NewOracle precomputes the profile tables of every registered function.
+func NewOracle(reg *Registry, space Space, pm pricing.Model) *Oracle {
+	o := &Oracle{
+		Space:   space,
+		Pricing: pm,
+		tables:  make(map[string]*FunctionTable, reg.Len()),
+	}
+	for _, name := range reg.Names() {
+		fn := reg.MustLookup(name)
+		o.tables[name] = buildTable(fn, space, pm)
+	}
+	return o
+}
+
+func buildTable(fn *Function, space Space, pm pricing.Model) *FunctionTable {
+	cfgs := space.Configs()
+	ests := make([]Estimate, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		t := fn.Exec(cfg)
+		tc := pm.TaskCost(cfg.Resources(), t)
+		ests = append(ests, Estimate{
+			Config:   cfg,
+			Time:     t,
+			TaskCost: tc,
+			JobCost:  tc / units.Money(cfg.Batch),
+		})
+	}
+	byLat := append([]Estimate(nil), ests...)
+	sort.SliceStable(byLat, func(i, j int) bool {
+		if byLat[i].Time != byLat[j].Time {
+			return byLat[i].Time < byLat[j].Time
+		}
+		return byLat[i].JobCost < byLat[j].JobCost
+	})
+	byCost := append([]Estimate(nil), ests...)
+	sort.SliceStable(byCost, func(i, j int) bool {
+		if byCost[i].JobCost != byCost[j].JobCost {
+			return byCost[i].JobCost < byCost[j].JobCost
+		}
+		return byCost[i].Time < byCost[j].Time
+	})
+	ft := &FunctionTable{
+		Fn:             fn,
+		ByLatency:      byLat,
+		ByJobCost:      byCost,
+		MinTime:        byLat[0].Time,
+		MinJobCost:     byCost[0].JobCost,
+		FastestJobCost: byLat[0].JobCost,
+	}
+	return ft
+}
+
+// Table returns the profile table of the named function.
+func (o *Oracle) Table(name string) (*FunctionTable, bool) {
+	t, ok := o.tables[name]
+	return t, ok
+}
+
+// MustTable returns the profile table, panicking if the function is absent.
+func (o *Oracle) MustTable(name string) *FunctionTable {
+	t, ok := o.tables[name]
+	if !ok {
+		panic("profile: no table for function " + name)
+	}
+	return t
+}
+
+// Estimate returns the estimate of one specific configuration.
+func (o *Oracle) Estimate(name string, cfg Config) Estimate {
+	fn := o.MustTable(name).Fn
+	t := fn.Exec(cfg)
+	tc := o.Pricing.TaskCost(cfg.Resources(), t)
+	return Estimate{Config: cfg, Time: t, TaskCost: tc, JobCost: tc / units.Money(cfg.Batch)}
+}
+
+// LatencyAscending returns the estimates of a function sorted by time,
+// filtered so that batch sizes never exceed maxBatch (a scheduler cannot
+// batch more jobs than its queue holds). maxBatch <= 0 means no filter.
+func (ft *FunctionTable) LatencyAscending(maxBatch int) []Estimate {
+	return filterBatch(ft.ByLatency, maxBatch)
+}
+
+// JobCostAscending returns the estimates sorted by per-job cost with the
+// same batch filter.
+func (ft *FunctionTable) JobCostAscending(maxBatch int) []Estimate {
+	return filterBatch(ft.ByJobCost, maxBatch)
+}
+
+func filterBatch(ests []Estimate, maxBatch int) []Estimate {
+	if maxBatch <= 0 {
+		return ests
+	}
+	out := make([]Estimate, 0, len(ests))
+	for _, e := range ests {
+		if e.Config.Batch <= maxBatch {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MinTimeWithin returns the fastest time among configs with batch <=
+// maxBatch, with maxBatch <= 0 meaning unrestricted.
+func (ft *FunctionTable) MinTimeWithin(maxBatch int) time.Duration {
+	if maxBatch <= 0 {
+		return ft.MinTime
+	}
+	for _, e := range ft.ByLatency {
+		if e.Config.Batch <= maxBatch {
+			return e.Time
+		}
+	}
+	return ft.MinTime
+}

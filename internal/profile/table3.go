@@ -1,0 +1,118 @@
+package profile
+
+import (
+	"fmt"
+	"time"
+)
+
+// Canonical function names (Table 3).
+const (
+	SuperResolution   = "super-resolution"
+	Segmentation      = "segmentation"
+	Deblur            = "deblur"
+	Classification    = "classification"
+	BackgroundRemoval = "background-removal"
+	DepthRecognition  = "depth-recognition"
+)
+
+// Table3 returns the six serverless functions of the paper's Table 3 with
+// the measured minimum-configuration execution times, cold-start times and
+// input sizes. The scaling parameters (CPU fraction, Amdahl fraction, batch
+// slopes) are the model calibration described in DESIGN.md: CPU-heavy
+// pre/post-processing that parallelizes well over vCPUs, and sub-linear
+// GPU batching.
+func Table3() []*Function {
+	return []*Function{
+		{
+			Name: SuperResolution, Model: "SRGAN",
+			BaseExec: 86 * time.Millisecond, ColdStart: 3503 * time.Millisecond,
+			InputMB: 2.7, CPUFraction: 0.42, ParallelFrac: 0.85,
+			CPUBatchSlope: 0.35, GPUBatchSlope: 0.55,
+		},
+		{
+			Name: Segmentation, Model: "deeplabv3_resnet50",
+			BaseExec: 293 * time.Millisecond, ColdStart: 16510 * time.Millisecond,
+			InputMB: 2.5, CPUFraction: 0.40, ParallelFrac: 0.85,
+			CPUBatchSlope: 0.35, GPUBatchSlope: 0.55,
+		},
+		{
+			Name: Deblur, Model: "DeblurGAN",
+			BaseExec: 319 * time.Millisecond, ColdStart: 22343 * time.Millisecond,
+			InputMB: 1.1, CPUFraction: 0.38, ParallelFrac: 0.85,
+			CPUBatchSlope: 0.35, GPUBatchSlope: 0.55,
+		},
+		{
+			Name: Classification, Model: "ResNet50",
+			BaseExec: 147 * time.Millisecond, ColdStart: 18299 * time.Millisecond,
+			InputMB: 0.147, CPUFraction: 0.45, ParallelFrac: 0.85,
+			CPUBatchSlope: 0.30, GPUBatchSlope: 0.50,
+		},
+		{
+			Name: BackgroundRemoval, Model: "U2Net",
+			BaseExec: 1047 * time.Millisecond, ColdStart: 3729 * time.Millisecond,
+			InputMB: 2.5, CPUFraction: 0.40, ParallelFrac: 0.85,
+			CPUBatchSlope: 0.35, GPUBatchSlope: 0.55,
+		},
+		{
+			Name: DepthRecognition, Model: "MiDaS",
+			BaseExec: 828 * time.Millisecond, ColdStart: 16479 * time.Millisecond,
+			InputMB: 0.648, CPUFraction: 0.40, ParallelFrac: 0.85,
+			CPUBatchSlope: 0.35, GPUBatchSlope: 0.55,
+		},
+	}
+}
+
+// Registry indexes functions by name.
+type Registry struct {
+	byName map[string]*Function
+	order  []string
+}
+
+// NewRegistry builds a registry from the given functions, validating each.
+func NewRegistry(fns ...*Function) (*Registry, error) {
+	r := &Registry{byName: make(map[string]*Function, len(fns))}
+	for _, f := range fns {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := r.byName[f.Name]; dup {
+			return nil, fmt.Errorf("profile: duplicate function %q", f.Name)
+		}
+		r.byName[f.Name] = f
+		r.order = append(r.order, f.Name)
+	}
+	return r, nil
+}
+
+// MustRegistry is NewRegistry that panics on error; for static tables.
+func MustRegistry(fns ...*Function) *Registry {
+	r, err := NewRegistry(fns...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Table3Registry returns a registry holding the Table 3 functions.
+func Table3Registry() *Registry { return MustRegistry(Table3()...) }
+
+// Lookup returns the function by name.
+func (r *Registry) Lookup(name string) (*Function, bool) {
+	f, ok := r.byName[name]
+	return f, ok
+}
+
+// MustLookup returns the function by name, panicking if absent.
+func (r *Registry) MustLookup(name string) *Function {
+	f, ok := r.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("profile: unknown function %q", name))
+	}
+	return f
+}
+
+// Names returns the registered names in insertion order.
+func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
+
+// Len returns the number of registered functions.
+func (r *Registry) Len() int { return len(r.order) }

@@ -1,0 +1,281 @@
+// Package queue implements the paper's job/task model (§3.1–3.2):
+// workflow instances (one end-to-end application request), jobs (one
+// invocation of one stage for one instance), batched tasks, and the
+// application-function-wise (AFW) job queues that group pending jobs of the
+// same (application, function) pair on the Controller.
+package queue
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/units"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+// Instance is one end-to-end request of an application: it owns one job per
+// stage and tracks completion against its SLO.
+type Instance struct {
+	ID int
+	// AppIndex identifies the application within the scenario.
+	AppIndex int
+	App      *workflow.App
+	// Arrival is when the request entered the system.
+	Arrival time.Duration
+	// SLO is the end-to-end latency objective.
+	SLO time.Duration
+	// Warmup marks instances excluded from SLO/cost metrics (the
+	// measurement warm-up window).
+	Warmup bool
+
+	stageDone    []bool
+	stageInvoker []int
+	remaining    int
+
+	// Done and CompletedAt are set when the last stage finishes.
+	Done        bool
+	CompletedAt time.Duration
+
+	// Cost accumulates the instance's share of every task it rode in.
+	Cost units.Money
+}
+
+// AddCost attributes a share of a task's cost to the instance.
+func (in *Instance) AddCost(c units.Money) { in.Cost += c }
+
+// NewInstance creates an instance with all stages pending.
+func NewInstance(id, appIndex int, app *workflow.App, arrival, slo time.Duration) *Instance {
+	inst := &Instance{
+		ID:           id,
+		AppIndex:     appIndex,
+		App:          app,
+		Arrival:      arrival,
+		SLO:          slo,
+		stageDone:    make([]bool, app.Len()),
+		stageInvoker: make([]int, app.Len()),
+		remaining:    app.Len(),
+	}
+	for i := range inst.stageInvoker {
+		inst.stageInvoker[i] = -1
+	}
+	return inst
+}
+
+// StageDone reports whether the stage has completed.
+func (in *Instance) StageDone(stage int) bool { return in.stageDone[stage] }
+
+// StageInvoker returns the invoker that ran the stage, or -1.
+func (in *Instance) StageInvoker(stage int) int { return in.stageInvoker[stage] }
+
+// CompleteStage marks a stage finished at time now on the given invoker and
+// returns the stage's successors whose predecessors are now all complete
+// (i.e., the next jobs to enqueue).
+func (in *Instance) CompleteStage(stage, invoker int, now time.Duration) (ready []int) {
+	if in.stageDone[stage] {
+		panic(fmt.Sprintf("instance %d: stage %d completed twice", in.ID, stage))
+	}
+	in.stageDone[stage] = true
+	in.stageInvoker[stage] = invoker
+	in.remaining--
+	if in.remaining == 0 {
+		in.Done = true
+		in.CompletedAt = now
+	}
+	for _, succ := range in.App.Stage(stage).Succs {
+		allDone := true
+		for _, p := range in.App.Stage(succ).Preds {
+			if !in.stageDone[p] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			ready = append(ready, succ)
+		}
+	}
+	return ready
+}
+
+// Latency returns the end-to-end latency (valid once Done).
+func (in *Instance) Latency() time.Duration { return in.CompletedAt - in.Arrival }
+
+// SLOHit reports whether the completed instance met its SLO.
+func (in *Instance) SLOHit() bool { return in.Done && in.Latency() <= in.SLO }
+
+// Elapsed returns how long the instance has been in the system at now.
+func (in *Instance) Elapsed(now time.Duration) time.Duration { return now - in.Arrival }
+
+// Job is one stage invocation for one instance, waiting in an AFW queue.
+type Job struct {
+	Instance *Instance
+	Stage    int
+	// EnqueuedAt is when the job entered its AFW queue.
+	EnqueuedAt time.Duration
+}
+
+// Waited returns how long the job has been queued at now.
+func (j *Job) Waited(now time.Duration) time.Duration { return now - j.EnqueuedAt }
+
+// Task is a batch of jobs dispatched as one function invocation (§3.2:
+// "the set of jobs processed by an invocation of a serverless function").
+type Task struct {
+	Queue  *AFW
+	Jobs   []*Job
+	Config profile.Config
+	// Invoker is the node the task was dispatched to.
+	Invoker int
+	// Timing, filled by the emulator.
+	DispatchedAt time.Duration
+	StartedAt    time.Duration // after cold start + transfer
+	FinishedAt   time.Duration
+	WarmStart    bool
+}
+
+// AFW is an application-function-wise job queue: pending jobs of one stage
+// of one application (§3.1). The same function used by two applications
+// gets two distinct AFW queues.
+type AFW struct {
+	// ID is the queue's index in the controller's round-robin order.
+	ID       int
+	AppIndex int
+	App      *workflow.App
+	Stage    int
+	Function string
+
+	jobs []*Job
+
+	// RecheckRounds counts consecutive failed dispatch attempts while the
+	// queue sits on the recheck list (§3.1: after too many rounds the
+	// queue is force-dispatched with the minimum configuration).
+	RecheckRounds int
+}
+
+// NewAFW creates an empty AFW queue.
+func NewAFW(id, appIndex int, app *workflow.App, stage int) *AFW {
+	return &AFW{
+		ID:       id,
+		AppIndex: appIndex,
+		App:      app,
+		Stage:    stage,
+		Function: app.Stage(stage).Function,
+	}
+}
+
+// Push appends a job (FIFO).
+func (q *AFW) Push(j *Job) {
+	if j.Stage != q.Stage {
+		panic(fmt.Sprintf("queue %d: job for stage %d pushed to stage-%d queue", q.ID, j.Stage, q.Stage))
+	}
+	q.jobs = append(q.jobs, j)
+}
+
+// Len returns the number of pending jobs.
+func (q *AFW) Len() int { return len(q.jobs) }
+
+// Empty reports whether the queue has no jobs.
+func (q *AFW) Empty() bool { return len(q.jobs) == 0 }
+
+// Oldest returns the head job without removing it, or nil.
+func (q *AFW) Oldest() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return q.jobs[0]
+}
+
+// OldestWait returns how long the head job has waited at now (0 if empty).
+// This is Algorithm 1's "w ← the longest waiting time" input.
+func (q *AFW) OldestWait(now time.Duration) time.Duration {
+	if len(q.jobs) == 0 {
+		return 0
+	}
+	return q.jobs[0].Waited(now)
+}
+
+// OldestElapsed returns the largest end-to-end elapsed time among queued
+// jobs' instances (0 if empty) — the budget already consumed by the most
+// urgent instance.
+func (q *AFW) OldestElapsed(now time.Duration) time.Duration {
+	var max time.Duration
+	for _, j := range q.jobs {
+		if e := j.Instance.Elapsed(now); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Take removes and returns the n oldest jobs.
+func (q *AFW) Take(n int) []*Job {
+	if n > len(q.jobs) {
+		panic(fmt.Sprintf("queue %d: take %d of %d jobs", q.ID, n, len(q.jobs)))
+	}
+	out := append([]*Job(nil), q.jobs[:n]...)
+	rest := q.jobs[n:]
+	copy(q.jobs, rest)
+	q.jobs = q.jobs[:len(rest)]
+	return out
+}
+
+// Peek returns the n oldest jobs without removing them.
+func (q *AFW) Peek(n int) []*Job {
+	if n > len(q.jobs) {
+		n = len(q.jobs)
+	}
+	return q.jobs[:n]
+}
+
+// MinSLORemaining returns the tightest remaining SLO budget among queued
+// jobs at now (the most urgent instance's SLO minus its elapsed time).
+func (q *AFW) MinSLORemaining(now time.Duration) time.Duration {
+	if len(q.jobs) == 0 {
+		return 0
+	}
+	min := time.Duration(1<<63 - 1)
+	for _, j := range q.jobs {
+		rem := j.Instance.SLO - j.Instance.Elapsed(now)
+		if rem < min {
+			min = rem
+		}
+	}
+	return min
+}
+
+// Set builds and indexes the AFW queues of a scenario's applications.
+type Set struct {
+	Queues []*AFW
+	// index maps (appIndex, stage) -> queue.
+	index map[[2]int]*AFW
+}
+
+// NewSet creates one AFW queue per (application, stage).
+func NewSet(apps []*workflow.App) *Set {
+	s := &Set{index: make(map[[2]int]*AFW)}
+	for ai, app := range apps {
+		for st := 0; st < app.Len(); st++ {
+			q := NewAFW(len(s.Queues), ai, app, st)
+			s.Queues = append(s.Queues, q)
+			s.index[[2]int{ai, st}] = q
+		}
+	}
+	return s
+}
+
+// Get returns the queue of (appIndex, stage).
+func (s *Set) Get(appIndex, stage int) *AFW {
+	q, ok := s.index[[2]int{appIndex, stage}]
+	if !ok {
+		panic(fmt.Sprintf("queue: no AFW queue for app %d stage %d", appIndex, stage))
+	}
+	return q
+}
+
+// TotalPending returns the number of queued jobs across all queues.
+func (s *Set) TotalPending() int {
+	n := 0
+	for _, q := range s.Queues {
+		n += q.Len()
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/units"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+func chain3(t *testing.T) *workflow.App {
+	t.Helper()
+	return workflow.Chain("app", "f0", "f1", "f2")
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	app := chain3(t)
+	inst := NewInstance(1, 0, app, 100*time.Millisecond, time.Second)
+
+	if inst.Done {
+		t.Fatalf("fresh instance done")
+	}
+	ready := inst.CompleteStage(0, 3, 200*time.Millisecond)
+	if len(ready) != 1 || ready[0] != 1 {
+		t.Errorf("after stage 0, ready = %v", ready)
+	}
+	if inst.StageInvoker(0) != 3 {
+		t.Errorf("stage invoker not recorded")
+	}
+	ready = inst.CompleteStage(1, 4, 300*time.Millisecond)
+	if len(ready) != 1 || ready[0] != 2 {
+		t.Errorf("after stage 1, ready = %v", ready)
+	}
+	ready = inst.CompleteStage(2, 5, 900*time.Millisecond)
+	if len(ready) != 0 {
+		t.Errorf("exit stage has successors: %v", ready)
+	}
+	if !inst.Done {
+		t.Errorf("instance not done")
+	}
+	if inst.Latency() != 800*time.Millisecond {
+		t.Errorf("latency = %v", inst.Latency())
+	}
+	if !inst.SLOHit() {
+		t.Errorf("800ms latency missed a 1s SLO")
+	}
+}
+
+func TestInstanceSLOMiss(t *testing.T) {
+	app := chain3(t)
+	inst := NewInstance(1, 0, app, 0, 500*time.Millisecond)
+	inst.CompleteStage(0, 0, 200*time.Millisecond)
+	inst.CompleteStage(1, 0, 400*time.Millisecond)
+	inst.CompleteStage(2, 0, 600*time.Millisecond)
+	if inst.SLOHit() {
+		t.Errorf("600ms latency hit a 500ms SLO")
+	}
+}
+
+func TestInstanceDAGJoin(t *testing.T) {
+	b := workflow.NewBuilder("diamond")
+	a := b.Stage("fa")
+	l := b.Stage("fl")
+	r := b.Stage("fr")
+	j := b.Stage("fj")
+	b.Edge(a, l).Edge(a, r).Edge(l, j).Edge(r, j)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := NewInstance(0, 0, app, 0, time.Second)
+	ready := inst.CompleteStage(a, 0, time.Millisecond)
+	if len(ready) != 2 {
+		t.Fatalf("branch point released %d stages", len(ready))
+	}
+	// Join must wait for both branches.
+	if ready := inst.CompleteStage(l, 0, 2*time.Millisecond); len(ready) != 0 {
+		t.Errorf("join released after one branch: %v", ready)
+	}
+	if ready := inst.CompleteStage(r, 1, 3*time.Millisecond); len(ready) != 1 || ready[0] != j {
+		t.Errorf("join not released after both branches")
+	}
+}
+
+func TestDoubleCompletePanics(t *testing.T) {
+	app := chain3(t)
+	inst := NewInstance(0, 0, app, 0, time.Second)
+	inst.CompleteStage(0, 0, time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("double stage completion did not panic")
+		}
+	}()
+	inst.CompleteStage(0, 0, 2*time.Millisecond)
+}
+
+func TestInstanceCost(t *testing.T) {
+	app := chain3(t)
+	inst := NewInstance(0, 0, app, 0, time.Second)
+	inst.AddCost(units.Money(100))
+	inst.AddCost(units.Money(250))
+	if inst.Cost != 350 {
+		t.Errorf("cost = %v", inst.Cost)
+	}
+}
+
+func TestAFWQueueFIFO(t *testing.T) {
+	app := chain3(t)
+	q := NewAFW(0, 0, app, 1)
+	if q.Function != "f1" {
+		t.Errorf("queue function = %q", q.Function)
+	}
+	for i := 0; i < 5; i++ {
+		inst := NewInstance(i, 0, app, time.Duration(i)*time.Millisecond, time.Second)
+		q.Push(&Job{Instance: inst, Stage: 1, EnqueuedAt: time.Duration(i) * time.Millisecond})
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if q.Oldest().Instance.ID != 0 {
+		t.Errorf("oldest = %d", q.Oldest().Instance.ID)
+	}
+	jobs := q.Take(2)
+	if len(jobs) != 2 || jobs[0].Instance.ID != 0 || jobs[1].Instance.ID != 1 {
+		t.Errorf("Take(2) returned instances %d, %d", jobs[0].Instance.ID, jobs[1].Instance.ID)
+	}
+	if q.Len() != 3 || q.Oldest().Instance.ID != 2 {
+		t.Errorf("queue state after take wrong")
+	}
+	peek := q.Peek(10)
+	if len(peek) != 3 {
+		t.Errorf("Peek clamped to %d", len(peek))
+	}
+	if q.Empty() {
+		t.Errorf("queue empty with 3 jobs")
+	}
+}
+
+func TestTakeTooManyPanics(t *testing.T) {
+	app := chain3(t)
+	q := NewAFW(0, 0, app, 0)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("over-take did not panic")
+		}
+	}()
+	q.Take(1)
+}
+
+func TestPushWrongStagePanics(t *testing.T) {
+	app := chain3(t)
+	q := NewAFW(0, 0, app, 1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("wrong-stage push did not panic")
+		}
+	}()
+	q.Push(&Job{Instance: NewInstance(0, 0, app, 0, time.Second), Stage: 2})
+}
+
+func TestQueueWaitTimes(t *testing.T) {
+	app := chain3(t)
+	q := NewAFW(0, 0, app, 0)
+	if q.OldestWait(time.Second) != 0 || q.OldestElapsed(time.Second) != 0 {
+		t.Errorf("empty queue waits non-zero")
+	}
+	i1 := NewInstance(0, 0, app, 10*time.Millisecond, time.Second)
+	i2 := NewInstance(1, 0, app, 50*time.Millisecond, 2*time.Second)
+	q.Push(&Job{Instance: i1, Stage: 0, EnqueuedAt: 20 * time.Millisecond})
+	q.Push(&Job{Instance: i2, Stage: 0, EnqueuedAt: 60 * time.Millisecond})
+
+	now := 100 * time.Millisecond
+	if got := q.OldestWait(now); got != 80*time.Millisecond {
+		t.Errorf("OldestWait = %v", got)
+	}
+	if got := q.OldestElapsed(now); got != 90*time.Millisecond {
+		t.Errorf("OldestElapsed = %v", got)
+	}
+	// Remaining SLO: min over (SLO − elapsed): i1: 1000−90=910, i2: 2000−50=1950.
+	if got := q.MinSLORemaining(now); got != 910*time.Millisecond {
+		t.Errorf("MinSLORemaining = %v", got)
+	}
+}
+
+func TestSetIndexesAllQueues(t *testing.T) {
+	apps := []*workflow.App{
+		workflow.Chain("a", "f0", "f1", "f2"),
+		workflow.Chain("b", "f1", "f3"),
+	}
+	s := NewSet(apps)
+	if len(s.Queues) != 5 {
+		t.Fatalf("set has %d queues, want 5", len(s.Queues))
+	}
+	// AFW: the same function in two apps gets two queues (§3.1).
+	qa := s.Get(0, 1)
+	qb := s.Get(1, 0)
+	if qa.Function != "f1" || qb.Function != "f1" {
+		t.Fatalf("function names wrong: %q, %q", qa.Function, qb.Function)
+	}
+	if qa == qb || qa.ID == qb.ID {
+		t.Errorf("two apps share one AFW queue for the same function")
+	}
+	if s.TotalPending() != 0 {
+		t.Errorf("fresh set has pending jobs")
+	}
+	qa.Push(&Job{Instance: NewInstance(0, 0, apps[0], 0, time.Second), Stage: 1})
+	if s.TotalPending() != 1 {
+		t.Errorf("TotalPending = %d", s.TotalPending())
+	}
+}

@@ -1,0 +1,151 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d times in 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Errorf("sibling splits produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / float64(n)
+	if mean < 0.49 || mean > 0.51 {
+		t.Errorf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 7; i++ {
+		if !seen[i] {
+			t.Errorf("IntN(7) never produced %d", i)
+		}
+	}
+}
+
+func TestIntNPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("IntN(0) did not panic")
+		}
+	}()
+	New(1).IntN(0)
+}
+
+func TestUniformIn(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.UniformIn(10, 16.8)
+		if v < 10 || v >= 16.8 {
+			t.Fatalf("UniformIn out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestTruncatedGaussianFactor(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100000; i++ {
+		f := s.TruncatedGaussianFactor(0.1, 0.5)
+		if f < 0.5 {
+			t.Fatalf("factor below floor: %v", f)
+		}
+		if f > 1.3 || f < 0.7-1e-9 {
+			t.Fatalf("factor outside ±3σ: %v", f)
+		}
+	}
+	if f := s.TruncatedGaussianFactor(0, 0.5); f != 1 {
+		t.Errorf("zero sigma factor = %v, want 1", f)
+	}
+}
+
+func TestHash64Spread(t *testing.T) {
+	buckets := make(map[uint64]int)
+	n := 1000
+	for i := 0; i < n; i++ {
+		h := Hash64(string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i)))
+		buckets[h%16]++
+	}
+	for b, count := range buckets {
+		if count > n/4 {
+			t.Errorf("bucket %d absorbed %d of %d keys", b, count, n)
+		}
+	}
+	if Hash64("alpha") == Hash64("beta") {
+		t.Errorf("trivial hash collision")
+	}
+	if Hash64("alpha") != Hash64("alpha") {
+		t.Errorf("hash not deterministic")
+	}
+}

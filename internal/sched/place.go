@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/esg-sched/esg/internal/cluster"
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/queue"
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// QueueKey returns the hash key identifying an AFW queue's function for
+// home-invoker selection: the (application, function) pair, mirroring
+// OpenWhisk's (namespace, action) hashing (§2).
+func QueueKey(q *queue.AFW) string {
+	return fmt.Sprintf("%s/%d/%s", q.App.Name, q.Stage, q.Function)
+}
+
+// LocalityPlace implements ESG_Dispatch's invoker selection (§3.4):
+//  1. entry stages go to the home invoker;
+//  2. later stages go to the invoker that ran the predecessor stage of the
+//     most urgent job (local data passing);
+//  3. otherwise any invoker with an idle warm container for the function;
+//  4. otherwise the cold invoker with the most available resources.
+//
+// It returns nil when no invoker can fit cfg's resources right now.
+func LocalityPlace(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config, now time.Duration) *cluster.Invoker {
+	res := cfg.Resources()
+
+	// Preferred (locality) invoker: home for entry stages, predecessor of
+	// the most urgent job otherwise.
+	var preferred *cluster.Invoker
+	stage := q.App.Stage(q.Stage)
+	if len(stage.Preds) == 0 {
+		preferred = env.Cluster.HomeInvoker(QueueKey(q))
+	} else if len(jobs) > 0 {
+		inst := jobs[0].Instance
+		for _, p := range stage.Preds {
+			if inv := inst.StageInvoker(p); inv >= 0 {
+				preferred = env.Cluster.Invokers[inv]
+				break
+			}
+		}
+	}
+
+	// A warm start dwarfs any transfer saving (cold starts run seconds,
+	// transfers milliseconds), so: preferred-and-warm, then any warm,
+	// then preferred-cold, then the most-free cold invoker.
+	if preferred != nil && preferred.CanFit(res) && preferred.HasIdleWarm(q.Function, now) {
+		return preferred
+	}
+	for _, inv := range env.Cluster.WarmInvokers(q.Function, now) {
+		if inv.CanFit(res) {
+			return inv
+		}
+	}
+	if preferred != nil && preferred.CanFit(res) {
+		return preferred
+	}
+	if inv := env.Cluster.MostFree(); inv.CanFit(res) {
+		return inv
+	}
+	return nil
+}
+
+// FragmentationPlace implements the INFless/FaST-GShare node selection
+// (§4.2): best-fit on GPU capacity to minimize resource fragmentation,
+// ignoring data locality. Ties break toward less free CPU, then lower ID.
+func FragmentationPlace(env *Env, cfg profile.Config) *cluster.Invoker {
+	res := cfg.Resources()
+	var best *cluster.Invoker
+	var bestLeft units.VGPU
+	var bestCPULeft units.VCPU
+	for _, inv := range env.Cluster.Invokers {
+		if !inv.CanFit(res) {
+			continue
+		}
+		free := inv.Free()
+		left := free.GPU - cfg.GPU
+		cpuLeft := free.CPU - cfg.CPU
+		if best == nil || left < bestLeft || (left == bestLeft && cpuLeft < bestCPULeft) {
+			best = inv
+			bestLeft = left
+			bestCPULeft = cpuLeft
+		}
+	}
+	return best
+}

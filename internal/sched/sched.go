@@ -1,0 +1,147 @@
+// Package sched defines the interface between the emulated Controller and
+// the scheduling algorithms (ESG and the four baselines), plus the helpers
+// they share: the platform view (Env), candidate plans, placement policies,
+// and the mean-service-time SLO split used by INFless and FaST-GShare.
+package sched
+
+import (
+	"time"
+
+	"github.com/esg-sched/esg/internal/cluster"
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/queue"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+// OverheadMode controls how scheduling overhead is charged on the simulated
+// clock.
+type OverheadMode int
+
+const (
+	// OverheadNone charges nothing (deterministic tests).
+	OverheadNone OverheadMode = iota
+	// OverheadMeasured charges the measured wall-clock time of the search,
+	// as the paper does (§5.3).
+	OverheadMeasured
+	// OverheadFixed charges Env.FixedOverhead per plan.
+	OverheadFixed
+)
+
+// Env is the read-only platform view handed to schedulers.
+type Env struct {
+	Registry *profile.Registry
+	Oracle   *profile.Oracle
+	Cluster  *cluster.Cluster
+	Apps     []*workflow.App
+	// SLOs holds the end-to-end latency objective per application, indexed
+	// like Apps.
+	SLOs  []time.Duration
+	Noise profile.Noise
+
+	Overhead      OverheadMode
+	FixedOverhead time.Duration
+}
+
+// StageTable returns the profile table of a stage's function.
+func (e *Env) StageTable(appIndex, stage int) *profile.FunctionTable {
+	return e.Oracle.MustTable(e.Apps[appIndex].Stage(stage).Function)
+}
+
+// HopTransfer returns the optimistic (local) inter-stage transfer latency
+// the search algorithms fold into path-time estimates; ESG_Dispatch's
+// locality policy makes local the common case.
+func (e *Env) HopTransfer() time.Duration { return e.Cluster.Cfg.LocalTransfer }
+
+// Plan is a scheduler's proposal for the head of one AFW queue: a ranked
+// list of candidate configurations (ESG's "configuration priority queue",
+// §3.1). The dispatcher tries candidates in order until one fits on an
+// invoker.
+type Plan struct {
+	Candidates []profile.Config
+	// ConfigMiss marks a pre-planned configuration whose batch size
+	// exceeded the queue length at schedule time (Table 4); the candidate
+	// list already holds the clamped fallback.
+	ConfigMiss bool
+	// PrePlanned marks plans taken from a schedule fixed earlier (Orion at
+	// workflow start, Aquatope offline); only these count in the Table 4
+	// miss-rate denominator.
+	PrePlanned bool
+	// Overhead is the scheduling latency to charge on the simulated clock.
+	Overhead time.Duration
+}
+
+// Empty reports whether the plan offers no candidates.
+func (p Plan) Empty() bool { return len(p.Candidates) == 0 }
+
+// Scheduler is one scheduling algorithm under evaluation.
+type Scheduler interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Plan proposes ranked candidate configurations for the jobs at the
+	// head of q at time now. Candidates' batch sizes must not exceed
+	// q.Len().
+	Plan(env *Env, q *queue.AFW, now time.Duration) Plan
+	// Place selects an invoker able to host cfg for the given task, or nil
+	// if none currently fits. It must not mutate cluster state.
+	Place(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config, now time.Duration) *cluster.Invoker
+	// MinConfig returns the smallest admissible configuration for the
+	// queue's function — the forced fallback when a queue has sat on the
+	// recheck list too long (§3.1).
+	MinConfig(env *Env, q *queue.AFW) profile.Config
+}
+
+// DefaultMinConfig is the minimum configuration shared by schedulers
+// without extra admissibility constraints.
+func DefaultMinConfig() profile.Config { return profile.MinConfig }
+
+// MeanServiceSplit distributes an end-to-end SLO over an app's stages
+// proportionally to the stages' average (minimum-configuration) service
+// times — the GrandSLAm-style distribution the paper applies to INFless and
+// FaST-GShare (§4.2), which ignores inter-function relations.
+func MeanServiceSplit(app *workflow.App, reg *profile.Registry, slo time.Duration) []time.Duration {
+	n := app.Len()
+	out := make([]time.Duration, n)
+	var total float64
+	times := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fn := reg.MustLookup(app.Stage(i).Function)
+		times[i] = float64(fn.Exec(profile.MinConfig))
+		total += times[i]
+	}
+	if total <= 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[i] = time.Duration(float64(slo) * times[i] / total)
+	}
+	return out
+}
+
+// Stopwatch measures scheduling overhead according to the environment's
+// overhead mode. Use: defer sw.Stop(&plan) pattern or explicit Elapsed.
+type Stopwatch struct {
+	mode  OverheadMode
+	fixed time.Duration
+	start time.Time
+}
+
+// StartStopwatch begins an overhead measurement for env.
+func StartStopwatch(env *Env) Stopwatch {
+	sw := Stopwatch{mode: env.Overhead, fixed: env.FixedOverhead}
+	if sw.mode == OverheadMeasured {
+		sw.start = time.Now()
+	}
+	return sw
+}
+
+// Elapsed returns the overhead to charge.
+func (sw Stopwatch) Elapsed() time.Duration {
+	switch sw.mode {
+	case OverheadMeasured:
+		return time.Since(sw.start)
+	case OverheadFixed:
+		return sw.fixed
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,101 @@
+// Package simulate is the discrete-event engine driving the serverless
+// platform emulation: an event heap ordered by simulated time with
+// deterministic FIFO tie-breaking, so a scenario replays identically for a
+// given seed.
+package simulate
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now   time.Duration
+	seq   uint64
+	queue eventHeap
+	// Processed counts executed events (diagnostics).
+	Processed uint64
+}
+
+// New returns an engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn to run at absolute simulated time t. Events scheduled in
+// the past run at the current time (never before it).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next event; it reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.Processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, leaving later events
+// queued, and advances the clock to the deadline.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,122 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{CPU: 4, GPU: 2}
+	b := Resources{CPU: 1, GPU: 1}
+	if got := a.Add(b); got != (Resources{CPU: 5, GPU: 3}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Resources{CPU: 3, GPU: 1}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if !b.Fits(a) {
+		t.Errorf("b should fit in a")
+	}
+	if a.Fits(b) {
+		t.Errorf("a should not fit in b")
+	}
+	if !a.NonNegative() {
+		t.Errorf("a should be non-negative")
+	}
+	if (Resources{CPU: -1}).NonNegative() {
+		t.Errorf("negative CPU reported non-negative")
+	}
+	if !(Resources{}).Zero() {
+		t.Errorf("zero value should be Zero")
+	}
+	if a.Zero() {
+		t.Errorf("a should not be Zero")
+	}
+}
+
+func TestResourcesAddSubRoundTrip(t *testing.T) {
+	f := func(ac, ag, bc, bg int8) bool {
+		a := Resources{CPU: VCPU(ac), GPU: VGPU(ag)}
+		b := Resources{CPU: VCPU(bc), GPU: VGPU(bg)}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitsIsPartialOrder(t *testing.T) {
+	f := func(ac, ag, bc, bg, cc, cg uint8) bool {
+		a := Resources{CPU: VCPU(ac), GPU: VGPU(ag)}
+		b := Resources{CPU: VCPU(bc), GPU: VGPU(bg)}
+		c := Resources{CPU: VCPU(cc), GPU: VGPU(cg)}
+		// Transitivity: a<=b && b<=c => a<=c.
+		if a.Fits(b) && b.Fits(c) && !a.Fits(c) {
+			return false
+		}
+		// Reflexivity.
+		return a.Fits(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoneyConversions(t *testing.T) {
+	if FromDollars(1).Dollars() != 1 {
+		t.Errorf("FromDollars(1) round trip failed: %v", FromDollars(1))
+	}
+	if got := FromDollars(0.01); got != Cent {
+		t.Errorf("FromDollars(0.01) = %d, want %d", got, Cent)
+	}
+	if Cent.Cents() != 1 {
+		t.Errorf("Cent.Cents() = %v", Cent.Cents())
+	}
+	if s := (Money(500_000)).String(); s != "0.5000¢" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRateCost(t *testing.T) {
+	// $3.60/hour = $0.001/s = 0.1¢/s.
+	r := RatePerHour(3.6)
+	if got := r.Cost(time.Second); got != Money(0.1*float64(Cent)) {
+		t.Errorf("1s at $3.6/h = %v, want 0.1¢", got)
+	}
+	if got := r.Cost(0); got != 0 {
+		t.Errorf("zero duration cost = %v", got)
+	}
+	if got := r.Cost(-time.Second); got != 0 {
+		t.Errorf("negative duration cost = %v", got)
+	}
+	// Cost is additive over durations (up to integer rounding).
+	half := r.Cost(500 * time.Millisecond)
+	if diff := r.Cost(time.Second) - 2*half; diff < 0 || diff > 2 {
+		t.Errorf("cost not additive: %v", diff)
+	}
+}
+
+func TestRateCostMonotone(t *testing.T) {
+	r := RatePerHour(0.67)
+	f := func(a, b uint32) bool {
+		da, db := time.Duration(a)*time.Microsecond, time.Duration(b)*time.Microsecond
+		if da > db {
+			da, db = db, da
+		}
+		return r.Cost(da) <= r.Cost(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperUnitPrices(t *testing.T) {
+	// §4.1: one vCPU at $0.034/h for one second ≈ 0.000944¢.
+	cpu := RatePerHour(0.034)
+	got := cpu.Cost(time.Second).Cents()
+	want := 0.034 * 100 / 3600
+	if diff := got - want; diff < -1e-4 || diff > 1e-4 {
+		t.Errorf("vCPU second = %v¢, want ≈%v¢", got, want)
+	}
+}

@@ -1,0 +1,103 @@
+package workflow
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+// Canonical application names (§4.1).
+const (
+	ImageClassification         = "image-classification"
+	DepthRecognitionApp         = "depth-recognition-app"
+	BackgroundElimination       = "background-elimination"
+	ExpandedImageClassification = "expanded-image-classification"
+)
+
+// ImageClassificationApp builds the 3-stage image classification workflow:
+// super-resolution → segmentation → classification (§4.1).
+func ImageClassificationApp() *App {
+	return Chain(ImageClassification,
+		profile.SuperResolution, profile.Segmentation, profile.Classification)
+}
+
+// DepthRecognitionWorkflow builds the 3-stage depth recognition workflow:
+// deblur → super-resolution → depth recognition (§4.1).
+func DepthRecognitionWorkflow() *App {
+	return Chain(DepthRecognitionApp,
+		profile.Deblur, profile.SuperResolution, profile.DepthRecognition)
+}
+
+// BackgroundEliminationApp builds the 3-stage background elimination
+// workflow: super-resolution → deblur → background removal (§4.1).
+func BackgroundEliminationApp() *App {
+	return Chain(BackgroundElimination,
+		profile.SuperResolution, profile.Deblur, profile.BackgroundRemoval)
+}
+
+// ExpandedImageClassificationApp builds the 5-stage expanded workflow:
+// deblur → super-resolution → background removal → segmentation →
+// classification (§4.1).
+func ExpandedImageClassificationApp() *App {
+	return Chain(ExpandedImageClassification,
+		profile.Deblur, profile.SuperResolution, profile.BackgroundRemoval,
+		profile.Segmentation, profile.Classification)
+}
+
+// EvaluationApps returns the four applications of the paper's evaluation in
+// a stable order.
+func EvaluationApps() []*App {
+	return []*App{
+		ImageClassificationApp(),
+		DepthRecognitionWorkflow(),
+		BackgroundEliminationApp(),
+		ExpandedImageClassificationApp(),
+	}
+}
+
+// SLOLevel is the tightness of the latency objective relative to the
+// baseline latency L (§4.1).
+type SLOLevel int
+
+const (
+	// Strict is a hit within 0.8·L.
+	Strict SLOLevel = iota
+	// Moderate is a hit within 1.0·L.
+	Moderate
+	// Relaxed is a hit within 1.2·L.
+	Relaxed
+)
+
+// Factor returns the SLO multiplier over L.
+func (l SLOLevel) Factor() float64 {
+	switch l {
+	case Strict:
+		return 0.8
+	case Moderate:
+		return 1.0
+	case Relaxed:
+		return 1.2
+	default:
+		panic(fmt.Sprintf("workflow: unknown SLO level %d", int(l)))
+	}
+}
+
+func (l SLOLevel) String() string {
+	switch l {
+	case Strict:
+		return "strict"
+	case Moderate:
+		return "moderate"
+	case Relaxed:
+		return "relaxed"
+	default:
+		return fmt.Sprintf("SLOLevel(%d)", int(l))
+	}
+}
+
+// SLOFor returns the end-to-end latency objective of app at the given level.
+func SLOFor(app *App, level SLOLevel, reg *profile.Registry) time.Duration {
+	l := app.BaselineLatency(reg)
+	return time.Duration(float64(l) * level.Factor())
+}

@@ -1,0 +1,11 @@
+package workflow
+
+import (
+	"github.com/esg-sched/esg/internal/pricing"
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+// testOracle builds the standard oracle used across workflow tests.
+func testOracle() *profile.Oracle {
+	return profile.NewOracle(profile.Table3Registry(), profile.DefaultSpace(), pricing.Default())
+}

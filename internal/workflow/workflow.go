@@ -1,0 +1,236 @@
+// Package workflow models DNN inference applications as DAGs of serverless
+// function stages (§3.1, Fig. 2), including the four evaluation applications
+// of §4.1 and the paper's SLO levels (§4.1: strict 0.8·L, moderate 1.0·L,
+// relaxed 1.2·L, where L is the end-to-end latency of the workflow run alone
+// at the minimum configuration).
+package workflow
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+// Stage is one node of an application DAG: an invocation of a serverless
+// function. Stage IDs are indices into App.Stages and are topologically
+// ordered (every edge goes from a lower to a higher ID).
+type Stage struct {
+	ID       int
+	Function string
+	Preds    []int
+	Succs    []int
+}
+
+// App is an immutable application DAG with a single entry stage.
+type App struct {
+	Name   string
+	Stages []Stage
+	entry  int
+	exits  []int
+}
+
+// Entry returns the ID of the unique entry stage.
+func (a *App) Entry() int { return a.entry }
+
+// Exits returns the IDs of stages with no successors.
+func (a *App) Exits() []int { return append([]int(nil), a.exits...) }
+
+// Len returns the number of stages.
+func (a *App) Len() int { return len(a.Stages) }
+
+// Stage returns the stage with the given ID.
+func (a *App) Stage(id int) *Stage { return &a.Stages[id] }
+
+// IsChain reports whether the DAG is a linear pipeline.
+func (a *App) IsChain() bool {
+	for _, s := range a.Stages {
+		if len(s.Succs) > 1 || len(s.Preds) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// FunctionNames returns the function of every stage, indexed by stage ID.
+func (a *App) FunctionNames() []string {
+	out := make([]string, len(a.Stages))
+	for i, s := range a.Stages {
+		out[i] = s.Function
+	}
+	return out
+}
+
+// BaselineLatency returns L: the critical-path latency of the workflow when
+// every stage runs at the minimum configuration (1 vCPU, 1 vGPU, batch 1),
+// alone and warm. SLOs are defined as multiples of L (§4.1).
+func (a *App) BaselineLatency(reg *profile.Registry) time.Duration {
+	longest := make([]time.Duration, len(a.Stages))
+	var max time.Duration
+	for i := range a.Stages { // stages are topologically ordered
+		s := &a.Stages[i]
+		fn := reg.MustLookup(s.Function)
+		t := fn.Exec(profile.MinConfig)
+		var best time.Duration
+		for _, p := range s.Preds {
+			if longest[p] > best {
+				best = longest[p]
+			}
+		}
+		longest[i] = best + t
+		if longest[i] > max {
+			max = longest[i]
+		}
+	}
+	return max
+}
+
+// CriticalPathMinTime returns the critical-path latency when every stage
+// runs at its fastest configuration in the space — the absolute lower bound
+// any scheduler could achieve. Useful for sanity checks and pruning tests.
+func (a *App) CriticalPathMinTime(oracle *profile.Oracle) time.Duration {
+	longest := make([]time.Duration, len(a.Stages))
+	var max time.Duration
+	for i := range a.Stages {
+		s := &a.Stages[i]
+		t := oracle.MustTable(s.Function).MinTime
+		var best time.Duration
+		for _, p := range s.Preds {
+			if longest[p] > best {
+				best = longest[p]
+			}
+		}
+		longest[i] = best + t
+		if longest[i] > max {
+			max = longest[i]
+		}
+	}
+	return max
+}
+
+// Validate checks DAG invariants: topological ID order, a unique entry,
+// no duplicate edges, all stages reachable from the entry.
+func (a *App) Validate() error {
+	if len(a.Stages) == 0 {
+		return fmt.Errorf("workflow %s: no stages", a.Name)
+	}
+	entries := 0
+	for i, s := range a.Stages {
+		if s.ID != i {
+			return fmt.Errorf("workflow %s: stage %d has ID %d", a.Name, i, s.ID)
+		}
+		if len(s.Preds) == 0 {
+			entries++
+		}
+		seen := map[int]bool{}
+		for _, t := range s.Succs {
+			if t <= i || t >= len(a.Stages) {
+				return fmt.Errorf("workflow %s: edge %d->%d violates topological order", a.Name, i, t)
+			}
+			if seen[t] {
+				return fmt.Errorf("workflow %s: duplicate edge %d->%d", a.Name, i, t)
+			}
+			seen[t] = true
+		}
+	}
+	if entries != 1 {
+		return fmt.Errorf("workflow %s: expected exactly 1 entry stage, found %d", a.Name, entries)
+	}
+	// Reachability from the entry.
+	reached := make([]bool, len(a.Stages))
+	stack := []int{a.entry}
+	reached[a.entry] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.Stages[n].Succs {
+			if !reached[t] {
+				reached[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	for i, r := range reached {
+		if !r {
+			return fmt.Errorf("workflow %s: stage %d unreachable from entry", a.Name, i)
+		}
+	}
+	return nil
+}
+
+// Builder assembles an App.
+type Builder struct {
+	name   string
+	stages []Stage
+	err    error
+}
+
+// NewBuilder starts a new application definition.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+// Stage appends a stage invoking the named function and returns its ID.
+func (b *Builder) Stage(function string) int {
+	id := len(b.stages)
+	b.stages = append(b.stages, Stage{ID: id, Function: function})
+	return id
+}
+
+// Edge adds a dependency from stage u to stage v (u must precede v).
+func (b *Builder) Edge(u, v int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if u < 0 || u >= len(b.stages) || v < 0 || v >= len(b.stages) {
+		b.err = fmt.Errorf("workflow %s: edge (%d,%d) references unknown stage", b.name, u, v)
+		return b
+	}
+	if u >= v {
+		b.err = fmt.Errorf("workflow %s: edge (%d,%d) must go from lower to higher stage ID", b.name, u, v)
+		return b
+	}
+	b.stages[u].Succs = append(b.stages[u].Succs, v)
+	b.stages[v].Preds = append(b.stages[v].Preds, u)
+	return b
+}
+
+// Build finalizes and validates the application.
+func (b *Builder) Build() (*App, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	app := &App{Name: b.name, Stages: append([]Stage(nil), b.stages...)}
+	for i, s := range app.Stages {
+		if len(s.Preds) == 0 {
+			app.entry = i
+		}
+		if len(s.Succs) == 0 {
+			app.exits = append(app.exits, i)
+		}
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// MustBuild is Build that panics on error; for static app tables.
+func (b *Builder) MustBuild() *App {
+	app, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+// Chain builds a linear pipeline over the given functions.
+func Chain(name string, functions ...string) *App {
+	b := NewBuilder(name)
+	ids := make([]int, len(functions))
+	for i, f := range functions {
+		ids[i] = b.Stage(f)
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		b.Edge(ids[i], ids[i+1])
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,168 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+func TestEvaluationApps(t *testing.T) {
+	apps := EvaluationApps()
+	if len(apps) != 4 {
+		t.Fatalf("got %d apps, want 4", len(apps))
+	}
+	wantStages := map[string][]string{
+		ImageClassification: {profile.SuperResolution, profile.Segmentation, profile.Classification},
+		DepthRecognitionApp: {profile.Deblur, profile.SuperResolution, profile.DepthRecognition},
+		BackgroundElimination: {profile.SuperResolution, profile.Deblur,
+			profile.BackgroundRemoval},
+		ExpandedImageClassification: {profile.Deblur, profile.SuperResolution,
+			profile.BackgroundRemoval, profile.Segmentation, profile.Classification},
+	}
+	for _, app := range apps {
+		want, ok := wantStages[app.Name]
+		if !ok {
+			t.Errorf("unexpected app %q", app.Name)
+			continue
+		}
+		got := app.FunctionNames()
+		if len(got) != len(want) {
+			t.Errorf("%s has %d stages, want %d", app.Name, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s stage %d = %s, want %s", app.Name, i, got[i], want[i])
+			}
+		}
+		if !app.IsChain() {
+			t.Errorf("%s should be a chain", app.Name)
+		}
+		if err := app.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", app.Name, err)
+		}
+	}
+}
+
+func TestBaselineLatencyChains(t *testing.T) {
+	reg := profile.Table3Registry()
+	// L of a chain is the sum of minimum-configuration times (§4.1).
+	want := map[string]time.Duration{
+		ImageClassification:         (86 + 293 + 147) * time.Millisecond,
+		DepthRecognitionApp:         (319 + 86 + 828) * time.Millisecond,
+		BackgroundElimination:       (86 + 319 + 1047) * time.Millisecond,
+		ExpandedImageClassification: (319 + 86 + 1047 + 293 + 147) * time.Millisecond,
+	}
+	for _, app := range EvaluationApps() {
+		if got := app.BaselineLatency(reg); got != want[app.Name] {
+			t.Errorf("%s L = %v, want %v", app.Name, got, want[app.Name])
+		}
+	}
+}
+
+func TestSLOLevels(t *testing.T) {
+	reg := profile.Table3Registry()
+	app := ImageClassificationApp()
+	l := app.BaselineLatency(reg)
+	cases := []struct {
+		level  SLOLevel
+		factor float64
+	}{{Strict, 0.8}, {Moderate, 1.0}, {Relaxed, 1.2}}
+	for _, c := range cases {
+		got := SLOFor(app, c.level, reg)
+		want := time.Duration(float64(l) * c.factor)
+		if got != want {
+			t.Errorf("SLO %v = %v, want %v", c.level, got, want)
+		}
+	}
+	if Strict.String() != "strict" || Moderate.String() != "moderate" || Relaxed.String() != "relaxed" {
+		t.Errorf("SLO level names wrong")
+	}
+}
+
+func TestBuilderDAG(t *testing.T) {
+	b := NewBuilder("diamond")
+	a := b.Stage(profile.Deblur)
+	l := b.Stage(profile.SuperResolution)
+	r := b.Stage(profile.Segmentation)
+	j := b.Stage(profile.Classification)
+	b.Edge(a, l).Edge(a, r).Edge(l, j).Edge(r, j)
+	app, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if app.IsChain() {
+		t.Errorf("diamond reported as chain")
+	}
+	if app.Entry() != a {
+		t.Errorf("entry = %d, want %d", app.Entry(), a)
+	}
+	exits := app.Exits()
+	if len(exits) != 1 || exits[0] != j {
+		t.Errorf("exits = %v", exits)
+	}
+	// Critical path: deblur + max(super-res, segmentation) + classification.
+	reg := profile.Table3Registry()
+	want := (319 + 293 + 147) * time.Millisecond
+	if got := app.BaselineLatency(reg); got != want {
+		t.Errorf("diamond L = %v, want %v", got, want)
+	}
+}
+
+func TestBuilderRejectsBadGraphs(t *testing.T) {
+	// Backward edge.
+	b := NewBuilder("bad")
+	x := b.Stage(profile.Deblur)
+	y := b.Stage(profile.Segmentation)
+	b.Edge(y, x)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("backward edge accepted")
+	}
+	// Self edge.
+	b = NewBuilder("self")
+	x = b.Stage(profile.Deblur)
+	b.Edge(x, x)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("self edge accepted")
+	}
+	// Two entries.
+	b = NewBuilder("twoentries")
+	b.Stage(profile.Deblur)
+	b.Stage(profile.Segmentation)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("two entry stages accepted")
+	}
+	// Unknown stage in edge.
+	b = NewBuilder("unknown")
+	x = b.Stage(profile.Deblur)
+	b.Edge(x, 5)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("edge to unknown stage accepted")
+	}
+	// Duplicate edge.
+	b = NewBuilder("dup")
+	x = b.Stage(profile.Deblur)
+	y = b.Stage(profile.Segmentation)
+	b.Edge(x, y).Edge(x, y)
+	if _, err := b.Build(); err == nil {
+		t.Errorf("duplicate edge accepted")
+	}
+	// Empty workflow.
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Errorf("empty workflow accepted")
+	}
+}
+
+func TestCriticalPathMinTime(t *testing.T) {
+	reg := profile.Table3Registry()
+	// CriticalPathMinTime must never exceed BaselineLatency: the fastest
+	// configurations are at least as fast as the minimum one.
+	oracleApps := EvaluationApps()
+	o := testOracle()
+	for _, app := range oracleApps {
+		if app.CriticalPathMinTime(o) > app.BaselineLatency(reg) {
+			t.Errorf("%s: min-config beats fastest config", app.Name)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/esg-sched/esg/internal/rng"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Generate(Normal, 200, 4, rng.New(3))
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, Normal)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got.Requests) != len(orig.Requests) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(got.Requests), len(orig.Requests))
+	}
+	for i := range got.Requests {
+		if got.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d changed: %+v vs %+v", i, got.Requests[i], orig.Requests[i])
+		}
+	}
+	if got.Level != Normal {
+		t.Errorf("level lost")
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"id,app,at_ns\n1,2,3\n",                        // wrong field count (header mismatch tolerated, rows not)
+		"id,app,at_ns,interval_ns\nx,0,0,0\n",          // bad id
+		"id,app,at_ns,interval_ns\n0,x,0,0\n",          // bad app
+		"id,app,at_ns,interval_ns\n0,0,x,0\n",          // bad at
+		"id,app,at_ns,interval_ns\n0,0,0,x\n",          // bad interval
+		"id,app,at_ns,interval_ns\n0,-1,5,5\n",         // negative app
+		"id,app,at_ns,interval_ns\n0,0,9,1\n1,0,3,1\n", // time goes backwards
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), Light); err == nil {
+			t.Errorf("case %d: malformed CSV accepted", i)
+		}
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader(""), Light)
+	if err != nil {
+		t.Fatalf("empty read: %v", err)
+	}
+	if len(tr.Requests) != 0 {
+		t.Errorf("empty trace has requests")
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("0,1,100,100\n1,2,250,150\n"), Heavy)
+	if err != nil {
+		t.Fatalf("headerless read: %v", err)
+	}
+	if len(tr.Requests) != 2 || tr.Requests[1].App != 2 {
+		t.Errorf("parsed %+v", tr.Requests)
+	}
+}

@@ -1,0 +1,115 @@
+// Package workload generates the request traces of §4.1: application
+// invocations with arrival intervals drawn uniformly from the Azure-trace-
+// derived ranges — heavy [10, 16.8] ms, normal [20, 33.6] ms, light
+// [40, 67.2] ms — each interval invoking one of the four evaluation
+// applications picked uniformly at random.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/esg-sched/esg/internal/rng"
+)
+
+// Level is the workload intensity.
+type Level int
+
+const (
+	// Heavy draws arrival intervals from [10, 16.8] ms.
+	Heavy Level = iota
+	// Normal draws arrival intervals from [20, 33.6] ms.
+	Normal
+	// Light draws arrival intervals from [40, 67.2] ms.
+	Light
+)
+
+func (l Level) String() string {
+	switch l {
+	case Heavy:
+		return "heavy"
+	case Normal:
+		return "normal"
+	case Light:
+		return "light"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// IntervalRange returns the arrival-interval bounds of the level (§4.1).
+func (l Level) IntervalRange() (lo, hi time.Duration) {
+	switch l {
+	case Heavy:
+		return 10 * time.Millisecond, 16800 * time.Microsecond
+	case Normal:
+		return 20 * time.Millisecond, 33600 * time.Microsecond
+	case Light:
+		return 40 * time.Millisecond, 67200 * time.Microsecond
+	default:
+		panic(fmt.Sprintf("workload: unknown level %d", int(l)))
+	}
+}
+
+// Request is one application invocation in a trace.
+type Request struct {
+	// ID numbers requests from 0 in arrival order.
+	ID int
+	// App indexes into the scenario's application list.
+	App int
+	// At is the arrival time.
+	At time.Duration
+	// Interval is the gap that preceded this arrival (diagnostics, Fig. 5).
+	Interval time.Duration
+}
+
+// Trace is a generated request sequence.
+type Trace struct {
+	Level    Level
+	Requests []Request
+}
+
+// Generate builds a trace of n requests over apps applications at the given
+// level, deterministically from src.
+func Generate(level Level, n, apps int, src *rng.Source) *Trace {
+	if n < 0 || apps < 1 {
+		panic("workload: invalid trace shape")
+	}
+	lo, hi := level.IntervalRange()
+	tr := &Trace{Level: level, Requests: make([]Request, 0, n)}
+	var now time.Duration
+	for i := 0; i < n; i++ {
+		iv := time.Duration(src.UniformIn(float64(lo), float64(hi)))
+		now += iv
+		tr.Requests = append(tr.Requests, Request{
+			ID: i, App: src.IntN(apps), At: now, Interval: iv,
+		})
+	}
+	return tr
+}
+
+// Duration returns the arrival time of the last request.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Requests) == 0 {
+		return 0
+	}
+	return t.Requests[len(t.Requests)-1].At
+}
+
+// Intervals returns every request's arrival interval (Fig. 5's series).
+func (t *Trace) Intervals() []time.Duration {
+	out := make([]time.Duration, len(t.Requests))
+	for i, r := range t.Requests {
+		out[i] = r.Interval
+	}
+	return out
+}
+
+// MeanRatePerSecond returns the average request arrival rate.
+func (t *Trace) MeanRatePerSecond() float64 {
+	d := t.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(len(t.Requests)) / d.Seconds()
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/rng"
+)
+
+func TestIntervalRanges(t *testing.T) {
+	cases := []struct {
+		level  Level
+		lo, hi time.Duration
+	}{
+		{Heavy, 10 * time.Millisecond, 16800 * time.Microsecond},
+		{Normal, 20 * time.Millisecond, 33600 * time.Microsecond},
+		{Light, 40 * time.Millisecond, 67200 * time.Microsecond},
+	}
+	for _, c := range cases {
+		lo, hi := c.level.IntervalRange()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%v range = [%v, %v], want [%v, %v]", c.level, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	for _, level := range []Level{Heavy, Normal, Light} {
+		tr := Generate(level, 500, 4, rng.New(1))
+		if len(tr.Requests) != 500 {
+			t.Fatalf("%v: %d requests", level, len(tr.Requests))
+		}
+		lo, hi := level.IntervalRange()
+		var prev time.Duration
+		for i, r := range tr.Requests {
+			if r.ID != i {
+				t.Fatalf("request %d has ID %d", i, r.ID)
+			}
+			if r.Interval < lo || r.Interval >= hi {
+				t.Errorf("%v: interval %v out of range", level, r.Interval)
+			}
+			if r.At != prev+r.Interval {
+				t.Errorf("%v: arrival %v inconsistent with interval", level, r.At)
+			}
+			prev = r.At
+			if r.App < 0 || r.App >= 4 {
+				t.Errorf("app index %d out of range", r.App)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Normal, 100, 4, rng.New(99))
+	b := Generate(Normal, 100, 4, rng.New(99))
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("trace diverged at request %d", i)
+		}
+	}
+}
+
+func TestGenerateUsesAllApps(t *testing.T) {
+	tr := Generate(Light, 400, 4, rng.New(3))
+	seen := make(map[int]int)
+	for _, r := range tr.Requests {
+		seen[r.App]++
+	}
+	for app := 0; app < 4; app++ {
+		if seen[app] < 50 {
+			t.Errorf("app %d picked only %d times of 400", app, seen[app])
+		}
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	tr := Generate(Heavy, 1000, 4, rng.New(7))
+	rate := tr.MeanRatePerSecond()
+	// Mean interval is 13.4 ms → ≈74.6 req/s.
+	if rate < 70 || rate > 80 {
+		t.Errorf("heavy rate = %v req/s", rate)
+	}
+	if len(tr.Intervals()) != 1000 {
+		t.Errorf("Intervals length wrong")
+	}
+	if tr.Duration() != tr.Requests[999].At {
+		t.Errorf("Duration mismatch")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := Generate(Light, 0, 1, rng.New(1))
+	if tr.Duration() != 0 || tr.MeanRatePerSecond() != 0 {
+		t.Errorf("empty trace stats non-zero")
+	}
+}
