@@ -9,9 +9,15 @@
 //
 // Flags:
 //
-//	-seed N    random seed (default 42)
-//	-scale F   trace-size multiplier; 1.0 is the full evaluation (default 1.0)
-//	-quiet     suppress per-scenario progress
+//	-seed N       random seed (default 42)
+//	-scale F      trace-size multiplier; 1.0 is the full evaluation (default 1.0)
+//	-parallel N   worker-pool size for independent scenario runs (default 1;
+//	              0 = GOMAXPROCS). Results are byte-identical to -parallel 1
+//	              at the same seed when -overhead is not "measured".
+//	-plancache    enable the memoized ESG_1Q plan cache (per-run LRU)
+//	-overhead M   how scheduling overhead is charged: measured (paper
+//	              default, wall clock — run-dependent), none, or fixed
+//	-quiet        suppress per-scenario progress
 package main
 
 import (
@@ -19,16 +25,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/esg-sched/esg/internal/experiments"
+	"github.com/esg-sched/esg/internal/sched"
 )
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 42, "random seed")
-		scale = flag.Float64("scale", 1.0, "trace-size multiplier (1.0 = full evaluation)")
-		quiet = flag.Bool("quiet", false, "suppress progress output")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		scale     = flag.Float64("scale", 1.0, "trace-size multiplier (1.0 = full evaluation)")
+		parallel  = flag.Int("parallel", 1, "scenario worker-pool size (0 = GOMAXPROCS)")
+		plancache = flag.Bool("plancache", false, "enable the memoized ESG_1Q plan cache")
+		overhead  = flag.String("overhead", "measured", "scheduling-overhead mode: measured|none|fixed")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -43,6 +54,22 @@ func main() {
 	}
 
 	r := experiments.NewRunner(*seed, *scale)
+	switch *overhead {
+	case "measured":
+		r.Overhead = sched.OverheadMeasured
+	case "none":
+		r.Overhead = sched.OverheadNone
+	case "fixed":
+		r.Overhead = sched.OverheadFixed
+	default:
+		fmt.Fprintf(os.Stderr, "esgbench: unknown -overhead %q (want measured, none or fixed)\n", *overhead)
+		os.Exit(2)
+	}
+	r.Parallel = *parallel
+	if r.Parallel <= 0 {
+		r.Parallel = runtime.GOMAXPROCS(0)
+	}
+	r.PlanCache = *plancache
 	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = nil

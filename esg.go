@@ -108,6 +108,10 @@ type (
 	SearchResult = core.SearchResult
 	// Path is one full configuration path over a stage sequence.
 	Path = core.Path
+	// PlanCache memoizes ESG_1Q searches (LRU over quantized targets).
+	PlanCache = core.PlanCache
+	// PlanCacheStats are a plan cache's hit/miss/eviction counters.
+	PlanCacheStats = core.CacheStats
 
 	// Distribution is a dominator-based SLO distribution of an app.
 	Distribution = dominator.Distribution
@@ -156,6 +160,17 @@ const (
 // NewESG returns the paper's scheduler with its defaults (group size 3,
 // K = 5) or the supplied options.
 func NewESG(opts ...ESGOption) Scheduler { return core.New(opts...) }
+
+// NewPlanCache returns a memoized ESG_1Q search layer bounded to capacity
+// entries with the given target-latency bucket width (non-positive values
+// select the defaults). Attach it with WithPlanCache, or let the emulator
+// attach one per run via RunConfig.PlanCache.
+func NewPlanCache(capacity int, granularity time.Duration) *PlanCache {
+	return core.NewPlanCache(capacity, granularity)
+}
+
+// WithPlanCache attaches a plan cache to an ESG scheduler.
+func WithPlanCache(c *PlanCache) ESGOption { return core.WithPlanCache(c) }
 
 // ESG scheduler options.
 var (

@@ -1,0 +1,3 @@
+module github.com/esg-sched/esg
+
+go 1.22

@@ -76,6 +76,16 @@ type Config struct {
 	// which jobs batch up — beats spawning one.
 	DeferFraction float64
 
+	// PlanCache enables the scheduler's memoized plan search when the
+	// scheduler supports one (sched.PlanCaching — ESG's plan cache).
+	// Schedulers without a cache run unchanged.
+	PlanCache bool
+	// PlanCacheSize bounds the number of cached plans (0 = default).
+	PlanCacheSize int
+	// PlanCacheGranularity is the target-latency bucket width of the
+	// cache key (0 = default).
+	PlanCacheGranularity time.Duration
+
 	// Overhead selects how scheduling overhead is charged.
 	Overhead      sched.OverheadMode
 	FixedOverhead time.Duration
@@ -218,6 +228,11 @@ func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error)
 		lastInvoker: make([]int, len(qs.Queues)),
 		inRecheck:   make(map[int]bool),
 	}
+	if cfg.PlanCache {
+		if pc, ok := s.(sched.PlanCaching); ok {
+			pc.EnablePlanCache(cfg.PlanCacheSize, cfg.PlanCacheGranularity)
+		}
+	}
 	c.planners = make([]*prewarm.PoolPlanner, len(qs.Queues))
 	c.fnQueues = make(map[string][]int)
 	c.lastAttempt = make([]recheckAttempt, len(qs.Queues))
@@ -267,6 +282,10 @@ func (c *Controller) Execute() *metrics.Result {
 	for _, inv := range c.clu.Invokers {
 		cold += inv.ColdStarts
 		warm += inv.WarmStarts
+	}
+	if pc, ok := c.scheduler.(sched.PlanCaching); ok {
+		st := pc.PlanCacheStats()
+		c.collector.RecordCacheStats(st.Hits, st.Misses, st.Evictions, st.Invalidations)
 	}
 	return c.collector.Finalize(cold, warm, unfinished, utilCPU, utilGPU, c.engine.Now())
 }

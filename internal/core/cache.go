@@ -1,0 +1,252 @@
+package core
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+// Plan-cache defaults. The granularity trades hit rate against plan
+// freshness: group targets are floored to a bucket boundary before the
+// search runs, so a cached plan is always at least as tight as the target
+// it is reused for.
+const (
+	// DefaultCacheSize bounds the number of memoized searches kept.
+	DefaultCacheSize = 512
+	// DefaultCacheGranularity is the GSLO bucket width. The controller's
+	// scheduling quantum is 2 ms, so targets recur at millisecond scale;
+	// 5 ms buckets absorb the jitter of the queue head's elapsed time
+	// while staying well inside the 0.9 planning margin.
+	DefaultCacheGranularity = 5 * time.Millisecond
+)
+
+// CacheStats are the observability counters of a PlanCache.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+}
+
+// cacheKey identifies one memoized ESG_1Q search: the stage-group signature
+// (function sequence + filter identity + table epoch), the quantized queue
+// depth, the GSLO bucket, and the remaining search inputs.
+type cacheKey struct {
+	sig      string
+	gslo     int64 // GSLO floored to a granularity bucket
+	maxBatch int   // queue depth quantized to the first stage's batch options
+	k        int
+	hop      time.Duration
+	maxExp   int // expansion cap: a truncated search is not a full one
+}
+
+// PlanCache memoizes ESG_1Q searches. Repeated searches over the same
+// function group at the same (quantized) target return the cached Path set
+// instead of re-expanding the configuration graph (§3.3's search is the
+// scheduler's hot path; §5.4 bounds it to milliseconds — a hit makes it
+// nanoseconds).
+//
+// Two quantizations make keys recur:
+//
+//   - The queue depth only matters through the largest batch option of the
+//     first stage that still fits, so depths 9..11 under batch options
+//     {...,8,12,...} all map to 8. This mapping is exact: the quantized
+//     search sees the identical configuration lists.
+//   - GSLO is floored to a Granularity bucket and the search runs against
+//     the bucket floor. This is conservative: every path feasible under
+//     the floored target is feasible under the real one, so a cached plan
+//     never overshoots the SLO it is reused for.
+//
+// Entries are kept in an LRU list bounded by Capacity. All methods are
+// safe for concurrent use.
+type PlanCache struct {
+	mu          sync.Mutex
+	capacity    int
+	granularity time.Duration
+	entries     map[cacheKey]*list.Element
+	order       *list.List // front = most recently used
+	stats       CacheStats
+
+	// oracleIDs names each profile-table generation ever seen by this
+	// cache, so schedulers sharing the cache across different oracles
+	// can never collide on a signature. Invalidate bumps idEpoch, which
+	// prefixes every ID — old signatures can never resurface.
+	oracleIDs map[*profile.Oracle]uint64
+	nextID    uint64
+	idEpoch   uint64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res SearchResult
+}
+
+// NewPlanCache returns a cache bounded to capacity entries with the given
+// GSLO bucket width. Non-positive arguments select the defaults.
+func NewPlanCache(capacity int, granularity time.Duration) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	if granularity <= 0 {
+		granularity = DefaultCacheGranularity
+	}
+	return &PlanCache{
+		capacity:    capacity,
+		granularity: granularity,
+		entries:     make(map[cacheKey]*list.Element, capacity),
+		order:       list.New(),
+		oracleIDs:   make(map[*profile.Oracle]uint64),
+	}
+}
+
+// TableID names the profile-table generation behind an oracle, unique
+// within this cache: schedulers sharing one cache across different
+// oracles get disjoint signatures, so plans computed against one set of
+// tables are never served for another. The mapping pins the oracle in
+// memory for the cache's lifetime (bounded by the distinct oracles seen).
+func (c *PlanCache) TableID(o *profile.Oracle) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, ok := c.oracleIDs[o]
+	if !ok {
+		c.nextID++
+		id = c.nextID
+		c.oracleIDs[o] = id
+	}
+	return "t" + strconv.FormatUint(c.idEpoch, 10) + "." + strconv.FormatUint(id, 10)
+}
+
+// Len returns the number of cached searches.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Invalidate drops every cached plan. Callers must invoke it whenever the
+// profile tables or admissibility filters behind a signature change, since
+// cached paths embed estimates from the old tables.
+func (c *PlanCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[cacheKey]*list.Element, c.capacity)
+	c.order.Init()
+	c.oracleIDs = make(map[*profile.Oracle]uint64)
+	c.idEpoch++
+	c.stats.Invalidations++
+}
+
+// QuantizeGSLO floors d to the cache's bucket width (at least one bucket,
+// so a positive target never quantizes to zero and below-bucket targets
+// stay infeasible-tight rather than becoming trivially infeasible at 0).
+// Non-positive targets all collapse to one bucket: no configuration can
+// meet them, so the search degenerates to the same GSLO-independent drain
+// paths — without the clamp, an overdue queue would mint a fresh key per
+// Plan call and churn the LRU exactly when the scheduler is busiest.
+func (c *PlanCache) QuantizeGSLO(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	q := d / c.granularity * c.granularity
+	if q <= 0 {
+		q = d // below one bucket: keep the exact value
+	}
+	return q
+}
+
+// quantizeFirstBatch maps the queue depth to the largest batch option of
+// the first stage that is <= depth. Depths at or beyond the largest option
+// (and unbounded depths, <= 0) map to 0 ("unbounded"): the filtered config
+// list is identical for all of them.
+func quantizeFirstBatch(in SearchInput, depth int) int {
+	if depth <= 0 || len(in.Tables) == 0 {
+		return 0
+	}
+	best, max := 0, 0
+	for _, e := range in.Tables[0].ByLatency {
+		b := e.Config.Batch
+		if b > max {
+			max = b
+		}
+		if b <= depth && b > best {
+			best = b
+		}
+	}
+	if depth >= max {
+		return 0
+	}
+	return best
+}
+
+// Search runs a memoized ESG_1Q search. sig must identify everything that
+// shapes the result but is not part of the key's scalar fields: the stage
+// sequence (function names), the profile-table generation and the
+// admissibility filter. Results are shared — callers must treat the
+// returned paths as read-only.
+func (c *PlanCache) Search(in SearchInput, sig string) SearchResult {
+	in.GSLO = c.QuantizeGSLO(in.GSLO)
+	in.MaxFirstBatch = quantizeFirstBatch(in, in.MaxFirstBatch)
+	key := cacheKey{
+		sig:      sig,
+		gslo:     int64(in.GSLO),
+		maxBatch: in.MaxFirstBatch,
+		k:        in.K,
+		hop:      in.Hop,
+		maxExp:   in.MaxExpansions,
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// Run the search outside the lock so concurrent users of the cache
+	// never serialize on each other's searches; a racing duplicate insert
+	// is benign (identical inputs give identical results).
+	res := Search(in)
+	// The frontier is shared between the cached copy and every future
+	// hit: freeze the path slice so callers appending to it cannot alias.
+	res.Paths = res.Paths[:len(res.Paths):len(res.Paths)]
+
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		el := c.order.PushFront(&cacheEntry{key: key, res: res})
+		c.entries[key] = el
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+	return res
+}
+
+// GroupSignature builds the signature of one stage-group search: the table
+// identity (oracle generation), the function sequence, and the filter
+// identity. Use a distinct filterID per admissibility filter (the ablation
+// filters of Fig. 12) and a distinct tableID per profile-table generation.
+func GroupSignature(tableID string, fns []string, filterID string) string {
+	sig := tableID + "|" + filterID
+	for _, fn := range fns {
+		sig += "/" + fn
+	}
+	return sig
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+func cacheInput(o *profile.Oracle, gslo time.Duration) SearchInput {
+	return SearchInput{
+		Tables: tablesFor(o, profile.SuperResolution, profile.Segmentation, profile.Classification),
+		GSLO:   gslo,
+		K:      5,
+	}
+}
+
+func TestPlanCacheHitEqualsFreshSearch(t *testing.T) {
+	o := smallOracle()
+	c := NewPlanCache(8, 5*time.Millisecond)
+	in := cacheInput(o, 526*time.Millisecond)
+	sig := GroupSignature("t0", []string{profile.SuperResolution, profile.Segmentation, profile.Classification}, "")
+
+	first := c.Search(in, sig)
+	second := c.Search(in, sig)
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats after two identical searches: %+v", st)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cache hit differs from the miss that filled it")
+	}
+
+	// The hit must equal a fresh, uncached search over the quantized
+	// input — memoization must not change the planned paths.
+	quant := in
+	quant.GSLO = c.QuantizeGSLO(in.GSLO)
+	fresh := Search(quant)
+	if !reflect.DeepEqual(second.Paths, fresh.Paths) || second.Feasible != fresh.Feasible {
+		t.Errorf("cached result differs from fresh search at the quantized target")
+	}
+}
+
+func TestPlanCacheQuantizationIsConservative(t *testing.T) {
+	// Targets inside the same bucket share an entry, and the shared plan
+	// was computed at the bucket floor — so every returned path meets the
+	// tightest target that can map to the bucket.
+	o := smallOracle()
+	c := NewPlanCache(8, 5*time.Millisecond)
+	sig := "t0|/sr/seg/cls"
+
+	lo := c.Search(cacheInput(o, 521*time.Millisecond), sig)
+	hi := c.Search(cacheInput(o, 524*time.Millisecond), sig)
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("targets in one bucket did not share an entry: %+v", st)
+	}
+	for _, p := range hi.Paths {
+		if p.Time > 521*time.Millisecond {
+			t.Errorf("shared plan overshoots the tighter target: %v", p.Time)
+		}
+	}
+	if !reflect.DeepEqual(lo.Paths, hi.Paths) {
+		t.Errorf("bucket-sharing searches disagree")
+	}
+
+	// A target in a different bucket must not share.
+	c.Search(cacheInput(o, 540*time.Millisecond), sig)
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("distinct buckets collided: %+v", st)
+	}
+}
+
+func TestPlanCacheDepthQuantization(t *testing.T) {
+	// SmallSpace batches are {1,2,4}: depths 2 and 3 both clamp to batch 2
+	// and must share one entry; depths >= 4 (and unbounded) share another.
+	o := smallOracle()
+	c := NewPlanCache(8, 5*time.Millisecond)
+	sig := "t0|/sr/seg/cls"
+	mk := func(depth int) SearchInput {
+		in := cacheInput(o, 526*time.Millisecond)
+		in.MaxFirstBatch = depth
+		return in
+	}
+	c.Search(mk(2), sig)
+	c.Search(mk(3), sig)
+	c.Search(mk(4), sig)
+	c.Search(mk(9), sig)
+	c.Search(mk(0), sig) // unbounded
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 3 {
+		t.Errorf("depth quantization stats: %+v (want 2 misses, 3 hits)", st)
+	}
+
+	// Exactness: the shared entry must equal a fresh search at the raw depth.
+	got := c.Search(mk(3), sig)
+	want := Search(func() SearchInput {
+		in := mk(3)
+		in.GSLO = c.QuantizeGSLO(in.GSLO)
+		return in
+	}())
+	if !reflect.DeepEqual(got.Paths, want.Paths) {
+		t.Errorf("quantized-depth hit differs from fresh search at depth 3")
+	}
+}
+
+func TestPlanCacheInvalidate(t *testing.T) {
+	o := smallOracle()
+	c := NewPlanCache(8, 5*time.Millisecond)
+	in := cacheInput(o, 526*time.Millisecond)
+	c.Search(in, "sig")
+	c.Search(in, "sig")
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("cache holds %d entries after Invalidate", c.Len())
+	}
+	c.Search(in, "sig")
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Invalidations != 1 {
+		t.Errorf("stats after invalidate: %+v", st)
+	}
+
+	// A changed signature (new tables / new filter) must also miss.
+	c.Search(in, "sig2")
+	if st := c.Stats(); st.Misses != 3 {
+		t.Errorf("signature change did not miss: %+v", st)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	o := smallOracle()
+	c := NewPlanCache(3, time.Millisecond)
+	in := func(i int) SearchInput {
+		return cacheInput(o, 500*time.Millisecond+time.Duration(i)*10*time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		c.Search(in(i), "sig")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("capacity 3 cache holds %d entries", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+
+	// 0 and 1 were evicted; 2, 3, 4 remain. Touch 2 (making 3 the LRU),
+	// then insert a new key: 3 must be the victim.
+	c.Search(in(2), "sig")
+	c.Search(in(5), "sig")
+	c.Search(in(4), "sig")
+	c.Search(in(2), "sig")
+	st := c.Stats()
+	if wantHits := uint64(3); st.Hits != wantHits {
+		t.Errorf("hits = %d, want %d (LRU order violated)", st.Hits, wantHits)
+	}
+	c.Search(in(3), "sig")
+	if st := c.Stats(); st.Misses != 7 {
+		t.Errorf("misses = %d, want 7 (evicted victim should have missed)", st.Misses)
+	}
+}
+
+func TestPlanCacheOverdueTargetsShareOneBucket(t *testing.T) {
+	// Non-positive targets (overdue queues) all degenerate to the same
+	// GSLO-independent drain paths, so they must share a single entry
+	// instead of minting a fresh key per nanosecond-distinct deadline.
+	o := smallOracle()
+	c := NewPlanCache(8, 5*time.Millisecond)
+	a := c.Search(cacheInput(o, -17*time.Millisecond), "sig")
+	b := c.Search(cacheInput(o, -193*time.Microsecond), "sig")
+	z := c.Search(cacheInput(o, 0), "sig")
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("overdue targets did not share one bucket: %+v", st)
+	}
+	if !reflect.DeepEqual(a.Paths, b.Paths) || !reflect.DeepEqual(a.Paths, z.Paths) {
+		t.Errorf("overdue searches disagree")
+	}
+	if a.Feasible {
+		t.Errorf("non-positive target reported feasible")
+	}
+
+	// A caller with a different expansion cap must not be served the
+	// other cap's (possibly truncated) result.
+	in := cacheInput(o, 526*time.Millisecond)
+	c.Search(in, "sig")
+	in.MaxExpansions = 3
+	c.Search(in, "sig")
+	if st := c.Stats(); st.Misses != 3 {
+		t.Errorf("expansion caps collided: %+v", st)
+	}
+}
+
+func TestPlanCacheTableIDsDistinguishOracles(t *testing.T) {
+	// Schedulers sharing one cache across different oracles (different
+	// profile tables) must get disjoint signatures: a plan computed
+	// against one table set is never served for another.
+	c := NewPlanCache(8, 5*time.Millisecond)
+	small, big := smallOracle(), testOracle()
+	a, b := c.TableID(small), c.TableID(big)
+	if a == b {
+		t.Fatalf("distinct oracles share table ID %q", a)
+	}
+	if again := c.TableID(small); again != a {
+		t.Errorf("table ID not stable: %q then %q", a, again)
+	}
+	c.Invalidate()
+	if after := c.TableID(small); after == a {
+		t.Errorf("table ID %q survived Invalidate", a)
+	}
+}
+
+func TestPlanCacheConcurrentUse(t *testing.T) {
+	// The cache must be race-clean and return consistent results under
+	// concurrent lookups of overlapping keys (go test -race certifies).
+	o := smallOracle()
+	c := NewPlanCache(16, 5*time.Millisecond)
+	want := c.Search(cacheInput(o, 526*time.Millisecond), "sig")
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				got := c.Search(cacheInput(o, 526*time.Millisecond), "sig")
+				if !reflect.DeepEqual(got.Paths, want.Paths) {
+					errs <- fmt.Sprintf("goroutine %d iter %d: divergent result", g, i)
+					return
+				}
+				c.Search(cacheInput(o, time.Duration(400+10*i)*time.Millisecond), "sig")
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/esg-sched/esg/internal/cluster"
@@ -33,7 +34,21 @@ type ESG struct {
 	// DisableBatching forces batch size 1 (the Fig. 12 ablation).
 	DisableBatching bool
 
+	// cache, when non-nil, memoizes ESG_1Q searches across Plan calls.
+	cache *PlanCache
+	// sigs memoizes the cache signature per (oracle, stage) — Plan is
+	// the hot path, and the signature is deterministic for those inputs.
+	sigs map[sigKey]string
+
 	dists map[int]*dominator.Distribution
+}
+
+// sigKey locates one memoized group signature: the profile tables it was
+// built against and the queue stage whose remaining sequence it names.
+type sigKey struct {
+	oracle   *profile.Oracle
+	appIndex int
+	stage    int
 }
 
 // Option configures an ESG instance.
@@ -53,6 +68,9 @@ func WithoutGPUSharing() Option { return func(e *ESG) { e.DisableGPUSharing = tr
 
 // WithoutBatching disables batching (ablation).
 func WithoutBatching() Option { return func(e *ESG) { e.DisableBatching = true } }
+
+// WithPlanCache attaches a memoized ESG_1Q search layer (see PlanCache).
+func WithPlanCache(c *PlanCache) Option { return func(e *ESG) { e.cache = c } }
 
 // New returns an ESG scheduler with the paper's defaults.
 func New(opts ...Option) *ESG {
@@ -146,14 +164,20 @@ func (e *ESG) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 		tables[i] = env.StageTable(q.AppIndex, s)
 	}
 
-	res := Search(SearchInput{
+	in := SearchInput{
 		Tables:        tables,
 		GSLO:          gslo,
 		MaxFirstBatch: q.Len(),
 		K:             e.K,
 		Hop:           env.HopTransfer(),
 		Filter:        e.configFilter(env),
-	})
+	}
+	var res SearchResult
+	if e.cache != nil {
+		res = e.cache.Search(in, e.groupSignature(env, q, stages))
+	} else {
+		res = Search(in)
+	}
 
 	plan := sched.Plan{Overhead: sw.Elapsed()}
 	seen := make(map[profile.Config]bool, len(res.Paths))
@@ -168,6 +192,76 @@ func (e *ESG) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 		}
 	}
 	return plan
+}
+
+// groupSignature identifies the stage-group search for the plan cache:
+// the profile-table generation (oracle identity, named by the cache so
+// instances sharing one cache across oracles can never collide), the
+// function sequence, and the ablation-filter identity. Signatures are
+// memoized per (oracle, app, stage) — the remaining sequence is
+// deterministic for those inputs — keeping the hit path allocation-free.
+func (e *ESG) groupSignature(env *sched.Env, q *queue.AFW, stages []int) string {
+	k := sigKey{oracle: env.Oracle, appIndex: q.AppIndex, stage: q.Stage}
+	if sig, ok := e.sigs[k]; ok {
+		return sig
+	}
+	fns := make([]string, len(stages))
+	for i, s := range stages {
+		fns[i] = q.App.Stage(s).Function
+	}
+	sig := GroupSignature(e.cache.TableID(env.Oracle), fns, e.filterID(env))
+	if e.sigs == nil {
+		e.sigs = make(map[sigKey]string)
+	}
+	e.sigs[k] = sig
+	return sig
+}
+
+// filterID names the active admissibility filter (the Fig. 12
+// ablations). The no-sharing filter depends on the cluster's whole-GPU
+// size, so that value is part of the identity.
+func (e *ESG) filterID(env *sched.Env) string {
+	switch {
+	case e.DisableGPUSharing && e.DisableBatching:
+		return fmt.Sprintf("noshare%d-nobatch", env.Cluster.Cfg.NodeGPU)
+	case e.DisableGPUSharing:
+		return fmt.Sprintf("noshare%d", env.Cluster.Cfg.NodeGPU)
+	case e.DisableBatching:
+		return "nobatch"
+	default:
+		return ""
+	}
+}
+
+// EnablePlanCache implements sched.PlanCaching: it attaches a fresh
+// memoized search layer (replacing any existing one).
+func (e *ESG) EnablePlanCache(capacity int, granularity time.Duration) {
+	e.cache = NewPlanCache(capacity, granularity)
+	e.sigs = nil
+}
+
+// PlanCacheStats implements sched.PlanCaching; zero counters when no cache
+// is attached.
+func (e *ESG) PlanCacheStats() sched.PlanCacheStats {
+	if e.cache == nil {
+		return sched.PlanCacheStats{}
+	}
+	st := e.cache.Stats()
+	return sched.PlanCacheStats{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+	}
+}
+
+// InvalidatePlanCache drops every cached plan (for callers that mutate
+// profile tables or filters in place, invisibly to the oracle identity).
+func (e *ESG) InvalidatePlanCache() {
+	if e.cache != nil {
+		e.cache.Invalidate()
+		e.sigs = nil
+	}
 }
 
 // Place implements sched.Scheduler with ESG_Dispatch's locality policy.

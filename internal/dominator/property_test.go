@@ -1,0 +1,212 @@
+package dominator
+
+import (
+	"testing"
+
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/rng"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+// randomSPApp generates a random series-parallel workflow DAG: nested
+// fork/join blocks with chain segments, the hierarchically reducible shape
+// §3.3's reduction is defined over. Structure is drawn deterministically
+// from src, so failures replay from the logged seed.
+func randomSPApp(src *rng.Source, maxDepth int) *workflow.App {
+	fns := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	b := workflow.NewBuilder("random-sp")
+	stage := func() int { return b.Stage(fns[src.IntN(len(fns))]) }
+
+	// block emits a sub-DAG and returns its single first and last stage.
+	var block func(depth int) (first, last int)
+	block = func(depth int) (int, int) {
+		if depth <= 0 || src.IntN(3) == 0 {
+			// Chain of 1–3 stages.
+			n := 1 + src.IntN(3)
+			first := stage()
+			last := first
+			for i := 1; i < n; i++ {
+				s := stage()
+				b.Edge(last, s)
+				last = s
+			}
+			return first, last
+		}
+		// Fork/join: head → 2–3 parallel branches → join. Stage IDs must
+		// be topological, so the join is allocated after the branches.
+		head := stage()
+		branches := 2 + src.IntN(2)
+		firsts := make([]int, branches)
+		lasts := make([]int, branches)
+		for i := 0; i < branches; i++ {
+			firsts[i], lasts[i] = block(depth - 1)
+		}
+		join := stage()
+		for i := 0; i < branches; i++ {
+			b.Edge(head, firsts[i])
+			b.Edge(lasts[i], join)
+		}
+		// Optionally extend past the join with another block.
+		if src.IntN(2) == 0 {
+			nf, nl := block(depth - 1)
+			b.Edge(join, nf)
+			return head, nl
+		}
+		return head, join
+	}
+	block(maxDepth)
+	return b.MustBuild()
+}
+
+// bruteDominates reports dominance by definition: a dominates b iff b is
+// unreachable from the entry once a is removed (and a node dominates
+// itself).
+func bruteDominates(app *workflow.App, a, b int) bool {
+	if a == b {
+		return true
+	}
+	entry := app.Entry()
+	if a == entry {
+		return true
+	}
+	seen := make([]bool, app.Len())
+	stack := []int{entry}
+	seen[entry] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == b {
+			return false
+		}
+		for _, s := range app.Stage(v).Succs {
+			if s != a && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+// TestTreePropertiesRandomDAGs checks the dominator tree on randomized
+// series-parallel DAGs: it is acyclic and rooted (every IDom chain reaches
+// the entry within n steps), and Dominates agrees with the brute-force
+// definition for every stage pair.
+func TestTreePropertiesRandomDAGs(t *testing.T) {
+	src := rng.New(0xD0511A70)
+	for trial := 0; trial < 40; trial++ {
+		app := randomSPApp(src.Split(), 2)
+		n := app.Len()
+		tree := BuildTree(app)
+
+		if tree.IDom[app.Entry()] != -1 {
+			t.Fatalf("trial %d: entry has an immediate dominator", trial)
+		}
+		for v := 0; v < n; v++ {
+			if v == app.Entry() {
+				continue
+			}
+			steps := 0
+			for u := v; u != app.Entry(); u = tree.IDom[u] {
+				if u < 0 || steps > n {
+					t.Fatalf("trial %d (n=%d): IDom chain from %d does not reach the entry (cycle or escape)", trial, n, v)
+				}
+				steps++
+			}
+		}
+		for a := 0; a < n; a++ {
+			for c := 0; c < n; c++ {
+				got := tree.Dominates(a, c)
+				want := bruteDominates(app, a, c)
+				if got != want {
+					t.Fatalf("trial %d (n=%d): Dominates(%d,%d) = %v, brute force says %v", trial, n, a, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDistributePropertiesRandomDAGs checks the SLO distribution on
+// randomized series-parallel DAGs for every group size: the groups
+// partition the stages with bounded size, quotas lie in (0, 1], and along
+// every entry-to-exit path through the group DAG the SLO shares never
+// exceed the whole SLO.
+func TestDistributePropertiesRandomDAGs(t *testing.T) {
+	reg := profile.Table3Registry()
+	src := rng.New(0x5E1F5A9)
+	for trial := 0; trial < 40; trial++ {
+		app := randomSPApp(src.Split(), 2)
+		anl := ANLFromBase(app, reg)
+		for gs := 1; gs <= 4; gs++ {
+			d, err := Distribute(app, anl, gs)
+			if err != nil {
+				t.Fatalf("trial %d gs=%d: %v", trial, gs, err)
+			}
+			seen := make([]int, app.Len())
+			for _, g := range d.Groups {
+				if len(g.Stages) == 0 || len(g.Stages) > gs {
+					t.Fatalf("trial %d gs=%d: group %d has %d stages", trial, gs, g.ID, len(g.Stages))
+				}
+				for _, s := range g.Stages {
+					seen[s]++
+					if d.GroupOf(s).ID != g.ID {
+						t.Fatalf("trial %d gs=%d: stage %d group index inconsistent", trial, gs, s)
+					}
+				}
+				if g.Quota <= 0 || g.Quota > 1+1e-9 {
+					t.Fatalf("trial %d gs=%d: group %d quota %v outside (0,1]", trial, gs, g.ID, g.Quota)
+				}
+			}
+			for s, c := range seen {
+				if c != 1 {
+					t.Fatalf("trial %d gs=%d: stage %d appears in %d groups", trial, gs, s, c)
+				}
+			}
+			var walk func(g int, used float64)
+			walk = func(g int, used float64) {
+				used += d.Groups[g].Quota
+				if used > 1+1e-9 {
+					t.Fatalf("trial %d gs=%d: path through group %d claims %v of the SLO", trial, gs, g, used)
+				}
+				for _, n := range d.Groups[g].Next {
+					walk(n, used)
+				}
+			}
+			walk(d.GroupOf(app.Entry()).ID, 0)
+		}
+	}
+}
+
+// TestChainQuotasSumToWholeSLO checks the distribution's budget identity
+// on randomized chains, where the group DAG is a single path: the SLO
+// shares must sum to exactly the workflow SLO (quota total 1) — nothing is
+// lost or double-assigned.
+func TestChainQuotasSumToWholeSLO(t *testing.T) {
+	reg := profile.Table3Registry()
+	src := rng.New(0xC4A1)
+	fns := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + src.IntN(12)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fns[src.IntN(len(fns))]
+		}
+		app := workflow.Chain("chain", names...)
+		anl := ANLFromBase(app, reg)
+		for gs := 1; gs <= 4; gs++ {
+			d, err := Distribute(app, anl, gs)
+			if err != nil {
+				t.Fatalf("trial %d gs=%d: %v", trial, gs, err)
+			}
+			var sum float64
+			for _, g := range d.Groups {
+				sum += g.Quota
+			}
+			if sum < 1-1e-9 || sum > 1+1e-9 {
+				t.Fatalf("trial %d gs=%d (n=%d): quotas sum to %v, want 1", trial, gs, n, sum)
+			}
+		}
+	}
+}

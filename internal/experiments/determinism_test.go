@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/sched"
+	"github.com/esg-sched/esg/internal/workflow"
+	"github.com/esg-sched/esg/internal/workload"
+)
+
+// detRunner builds a tiny-scale runner whose artifacts are reproducible:
+// overhead must not be OverheadMeasured, since measured wall clock is
+// charged on the simulated clock and is run-dependent by design.
+func detRunner(seed uint64, parallel int, plancache bool) *Runner {
+	r := NewRunner(seed, 0.015)
+	r.Overhead = sched.OverheadNone
+	r.Parallel = parallel
+	r.PlanCache = plancache
+	return r
+}
+
+// renderArtifacts regenerates a cross-section of the evaluation — the ESG
+// overhead/ablation/K-sweep figures plus a mini comparison grid over the
+// non-ESG schedulers — into one string. Aquatope is exercised separately
+// (TestAquatopeDeterministicTraining): its offline BO training costs
+// seconds per cell and would dominate this test's budget.
+func renderArtifacts(t *testing.T, r *Runner) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, f := range []func(*Runner) (*Table, error){Fig10, Fig12, Fig11} {
+		tbl, err := f(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.Render(&sb)
+	}
+
+	grid := []string{INFless, FaSTGShare, Orion}
+	settings := []Setting{StrictLight, ModerateNormal}
+	if err := r.Resolve(comparisonCells(r, grid, settings)...); err != nil {
+		t.Fatal(err)
+	}
+	mini := &Table{ID: "mini", Title: "baseline grid", Columns: []string{"Setting", "Scheduler", "Summary"}}
+	for _, s := range settings {
+		for _, name := range grid {
+			res, err := r.Result(name, s.Level, s.SLO)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mini.Rows = append(mini.Rows, []string{s.Name, name, res.Summary()})
+		}
+	}
+	mini.Render(&sb)
+	return sb.String()
+}
+
+// TestDeterminismGolden is the repo's reproducibility contract: the same
+// seed yields byte-identical artifacts run-to-run, and the parallel runner
+// yields byte-identical artifacts to the sequential one. Every cell owns
+// an isolated engine, scheduler and RNG stream derived only from the seed,
+// so worker interleaving cannot leak into the results.
+func TestDeterminismGolden(t *testing.T) {
+	seq := renderArtifacts(t, detRunner(11, 1, false))
+	par := renderArtifacts(t, detRunner(11, 4, false))
+	if seq != par {
+		t.Errorf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	again := renderArtifacts(t, detRunner(11, 4, false))
+	if par != again {
+		t.Errorf("two parallel runs with one seed differ")
+	}
+	other := renderArtifacts(t, detRunner(12, 4, false))
+	if par == other {
+		t.Errorf("different seeds produced identical artifacts")
+	}
+}
+
+// TestDeterminismWithPlanCache extends the contract to the memoized
+// search: with the plan cache enabled, repeated (parallel) regenerations
+// at one seed stay byte-identical. (Cached targets are quantized, so
+// cache-on output is compared against cache-on output.)
+func TestDeterminismWithPlanCache(t *testing.T) {
+	a := renderArtifacts(t, detRunner(11, 4, true))
+	b := renderArtifacts(t, detRunner(11, 4, true))
+	if a != b {
+		t.Errorf("plan-cached runs with one seed differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestAquatopeDeterministicTraining pins the one scheduler whose setup is
+// heavyweight: Aquatope's offline BO training must be a pure function of
+// the seed, so two independent runners replay it bit-identically.
+func TestAquatopeDeterministicTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BO training costs seconds per run")
+	}
+	run := func() string {
+		r := detRunner(11, 2, false)
+		res, err := r.Result(Aquatope, workload.Light, workflow.Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("aquatope runs differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestParallelSpeedupSmoke sanity-checks that the worker pool actually
+// runs cells concurrently. It only fails when parallel execution is
+// dramatically slower than sequential (a pool-serialization bug); the ≥2×
+// speedup claim is measured by the root benchmarks, not asserted here,
+// because CI machines are noisy.
+func TestParallelSpeedupSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 30 tiny scenarios")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-CPU machine")
+	}
+	timeRun := func(parallel int, seed uint64) time.Duration {
+		r := NewRunner(seed, 0.02)
+		r.Overhead = sched.OverheadNone
+		r.Parallel = parallel
+		start := time.Now()
+		if _, err := Fig6(r); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	seq := timeRun(1, 21)
+	par := timeRun(4, 21)
+	t.Logf("sequential %v, parallel(4) %v, speedup %.2fx", seq, par, float64(seq)/float64(par))
+	if par > seq*3/2 {
+		t.Errorf("parallel runner (%v) much slower than sequential (%v)", par, seq)
+	}
+}

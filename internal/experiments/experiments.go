@@ -16,11 +16,7 @@ import (
 	"github.com/esg-sched/esg/internal/baselines/fastgshare"
 	"github.com/esg-sched/esg/internal/baselines/infless"
 	"github.com/esg-sched/esg/internal/baselines/orion"
-	"github.com/esg-sched/esg/internal/controller"
 	"github.com/esg-sched/esg/internal/core"
-	"github.com/esg-sched/esg/internal/metrics"
-	"github.com/esg-sched/esg/internal/profile"
-	"github.com/esg-sched/esg/internal/rng"
 	"github.com/esg-sched/esg/internal/sched"
 	"github.com/esg-sched/esg/internal/workflow"
 	"github.com/esg-sched/esg/internal/workload"
@@ -48,13 +44,17 @@ type Setting struct {
 	SLO   workflow.SLOLevel
 }
 
+// The paper's three workload/SLO pairings (§4.1); RelaxedHeavy also
+// stands alone in Figs. 7 and 12.
+var (
+	StrictLight    = Setting{Name: "strict-light", Level: workload.Light, SLO: workflow.Strict}
+	ModerateNormal = Setting{Name: "moderate-normal", Level: workload.Normal, SLO: workflow.Moderate}
+	RelaxedHeavy   = Setting{Name: "relaxed-heavy", Level: workload.Heavy, SLO: workflow.Relaxed}
+)
+
 // Settings returns strict-light, moderate-normal and relaxed-heavy.
 func Settings() []Setting {
-	return []Setting{
-		{Name: "strict-light", Level: workload.Light, SLO: workflow.Strict},
-		{Name: "moderate-normal", Level: workload.Normal, SLO: workflow.Moderate},
-		{Name: "relaxed-heavy", Level: workload.Heavy, SLO: workflow.Relaxed},
-	}
+	return []Setting{StrictLight, ModerateNormal, RelaxedHeavy}
 }
 
 // baseRequests sizes traces so each level spans ≈120 s of simulated time,
@@ -91,117 +91,6 @@ func NewScheduler(name string, seed uint64) (sched.Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
 	}
-}
-
-// Runner executes scenarios and caches results, so experiments sharing a
-// scenario (Figs. 6, 7, 8, 10 and Table 4) run it once.
-type Runner struct {
-	// Seed drives trace generation, noise and offline training.
-	Seed uint64
-	// Scale multiplies trace sizes; 1.0 reproduces the full evaluation,
-	// smaller values give quick smoke runs.
-	Scale float64
-	// Noise is the performance-variation model (default 5%).
-	Noise profile.Noise
-	// Overhead is how scheduling overhead is charged (default: measured
-	// wall clock, as the paper does).
-	Overhead sched.OverheadMode
-	// Log receives progress lines (nil for silence).
-	Log io.Writer
-
-	cache map[string]*metrics.Result
-}
-
-// NewRunner returns a Runner with the paper's defaults.
-func NewRunner(seed uint64, scale float64) *Runner {
-	if scale <= 0 {
-		scale = 1
-	}
-	return &Runner{
-		Seed:     seed,
-		Scale:    scale,
-		Noise:    profile.DefaultNoise(),
-		Overhead: sched.OverheadMeasured,
-		cache:    make(map[string]*metrics.Result),
-	}
-}
-
-func (r *Runner) logf(format string, args ...any) {
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, format+"\n", args...)
-	}
-}
-
-// Requests returns the trace size for a level at the runner's scale.
-func (r *Runner) Requests(level workload.Level) int {
-	n := int(float64(baseRequests(level)) * r.Scale)
-	if n < 40 {
-		n = 40
-	}
-	return n
-}
-
-// Trace generates the deterministic request trace of a level.
-func (r *Runner) Trace(level workload.Level) *workload.Trace {
-	return workload.Generate(level, r.Requests(level), len(workflow.EvaluationApps()), rng.New(r.Seed))
-}
-
-// config assembles the controller configuration for a setting, scaling the
-// warm-up window with the trace when running below full scale.
-func (r *Runner) config(level workload.Level, slo workflow.SLOLevel) controller.Config {
-	cfg := controller.Config{
-		SLOLevel: slo,
-		Noise:    r.Noise,
-		Overhead: r.Overhead,
-		Seed:     r.Seed,
-	}
-	if r.Scale < 1 {
-		tr := r.Trace(level)
-		warm := time.Duration(0.4 * float64(tr.Duration()))
-		if warm < time.Second {
-			warm = time.Second
-		}
-		cfg.WarmupTime = warm
-	}
-	return cfg
-}
-
-// Result runs (or returns the cached result of) one scenario.
-func (r *Runner) Result(schedName string, level workload.Level, slo workflow.SLOLevel) (*metrics.Result, error) {
-	key := fmt.Sprintf("%s/%s/%s", schedName, level, slo)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	s, err := NewScheduler(schedName, r.Seed)
-	if err != nil {
-		return nil, err
-	}
-	r.logf("running %s ...", key)
-	start := time.Now()
-	res, err := controller.Run(r.config(level, slo), s, r.Trace(level))
-	if err != nil {
-		return nil, err
-	}
-	r.logf("  %s (%.1fs wall)", res.Summary(), time.Since(start).Seconds())
-	r.cache[key] = res
-	return res, nil
-}
-
-// ResultWith runs a scenario with a custom scheduler instance (used by the
-// sensitivity and ablation sweeps) and caches it under the given key.
-func (r *Runner) ResultWith(key string, s sched.Scheduler, level workload.Level, slo workflow.SLOLevel) (*metrics.Result, error) {
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	r.logf("running %s ...", key)
-	start := time.Now()
-	res, err := controller.Run(r.config(level, slo), s, r.Trace(level))
-	if err != nil {
-		return nil, err
-	}
-	r.logf("  %s (%.1fs wall)", res.Summary(), time.Since(start).Seconds())
-	r.cache[key] = res
-	return res, nil
 }
 
 // Table is a printable experiment artifact: the rows/series of one paper

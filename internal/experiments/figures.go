@@ -34,6 +34,19 @@ func Fig5(r *Runner) *Table {
 	return t
 }
 
+// comparisonCells enumerates the full (scheduler × setting) grid shared by
+// Figs. 6, 7, 8, 10 and Table 4, so one Resolve call fans every cell out
+// over the runner's worker pool.
+func comparisonCells(r *Runner, schedulers []string, settings []Setting) []Cell {
+	cells := make([]Cell, 0, len(schedulers)*len(settings))
+	for _, s := range settings {
+		for _, name := range schedulers {
+			cells = append(cells, r.ComparisonCell(name, s.Level, s.SLO))
+		}
+	}
+	return cells
+}
+
 // Fig6 reproduces the headline comparison (paper Fig. 6): average SLO hit
 // rate and total cost (normalized to ESG) for the five schedulers across
 // the three settings.
@@ -42,6 +55,9 @@ func Fig6(r *Runner) (*Table, error) {
 		ID:      "fig6",
 		Title:   "Average SLO hit rate and normalized cost (ESG = 1.00)",
 		Columns: []string{"Setting", "Scheduler", "SLO hit rate", "Norm. cost", "Cold", "Tasks"},
+	}
+	if err := r.Resolve(comparisonCells(r, Comparison, Settings())...); err != nil {
+		return nil, err
 	}
 	for _, s := range Settings() {
 		esgRes, err := r.Result(ESG, s.Level, s.SLO)
@@ -77,6 +93,9 @@ func Fig7(r *Runner) (*Table, error) {
 		Title:   "End-to-end latency per application, relaxed-heavy",
 		Columns: []string{"Application", "Scheduler", "n", "Mean (ms)", "P50 (ms)", "P95 (ms)", "SLO (ms)"},
 	}
+	if err := r.Resolve(comparisonCells(r, Comparison, []Setting{RelaxedHeavy})...); err != nil {
+		return nil, err
+	}
 	for ai, app := range appOrder() {
 		for _, name := range Comparison {
 			res, err := r.Result(name, workload.Heavy, workflow.Relaxed)
@@ -102,6 +121,9 @@ func Fig8(r *Runner) (*Table, error) {
 		ID:      "fig8",
 		Title:   "Per-application SLO hit rate and normalized cost",
 		Columns: []string{"Setting", "Application", "Scheduler", "Hit rate", "Norm. cost"},
+	}
+	if err := r.Resolve(comparisonCells(r, Comparison, Settings())...); err != nil {
+		return nil, err
 	}
 	for _, s := range Settings() {
 		esgRes, err := r.Result(ESG, s.Level, s.SLO)
@@ -138,6 +160,9 @@ func Fig10(r *Runner) (*Table, error) {
 		Title:   "ESG scheduling overhead distribution (ms), group size 3",
 		Columns: []string{"Setting", "n", "Min", "Q1", "Median", "Q3", "Max", "Mean"},
 	}
+	if err := r.Resolve(comparisonCells(r, []string{ESG}, Settings())...); err != nil {
+		return nil, err
+	}
 	for _, s := range Settings() {
 		res, err := r.Result(ESG, s.Level, s.SLO)
 		if err != nil {
@@ -163,6 +188,9 @@ func Fig12(r *Runner) (*Table, error) {
 		ID:      "fig12",
 		Title:   "Ablation: GPU sharing and batching, relaxed-heavy",
 		Columns: []string{"Variant", "SLO hit rate", "Norm. cost", "GPU util", "Mean latency (ms)"},
+	}
+	if err := r.Resolve(comparisonCells(r, []string{ESG, ESGNoShare, ESGNoBatch}, []Setting{RelaxedHeavy})...); err != nil {
+		return nil, err
 	}
 	esgRes, err := r.Result(ESG, workload.Heavy, workflow.Relaxed)
 	if err != nil {

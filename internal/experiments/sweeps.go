@@ -8,6 +8,7 @@ import (
 	"github.com/esg-sched/esg/internal/core"
 	"github.com/esg-sched/esg/internal/pricing"
 	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/sched"
 	"github.com/esg-sched/esg/internal/workflow"
 	"github.com/esg-sched/esg/internal/workload"
 )
@@ -28,25 +29,38 @@ func Fig9(r *Runner) (*Table, error) {
 		Title:   "Orion SLO hit rate vs search time, strict-light",
 		Columns: []string{"Search budget (ms)", "Hit rate w/o overhead", "Hit rate w/ overhead"},
 	}
+	orionCell := func(key string, cutoff time.Duration, charge bool) Cell {
+		return Cell{
+			Key: key,
+			Make: func() (sched.Scheduler, error) {
+				s := orion.New()
+				s.CutOff = cutoff
+				s.ChargeOverhead = charge
+				return s, nil
+			},
+			Level: workload.Light,
+			SLO:   workflow.Strict,
+		}
+	}
+	cells := make([]Cell, 0, 2*len(Fig9CutOffs))
 	for _, cutoff := range Fig9CutOffs {
-		withoutKey := fmt.Sprintf("orion-free/%v", cutoff)
-		free := orion.New()
-		free.CutOff = cutoff
-		free.ChargeOverhead = false
-		resFree, err := r.ResultWith(withoutKey, free, workload.Light, workflow.Strict)
+		cells = append(cells,
+			orionCell(fmt.Sprintf("orion-free/%v", cutoff), cutoff, false),
+			orionCell(fmt.Sprintf("orion-charged/%v", cutoff), cutoff, true),
+		)
+	}
+	if err := r.Resolve(cells...); err != nil {
+		return nil, err
+	}
+	for i, cutoff := range Fig9CutOffs {
+		resFree, err := r.cached(cells[2*i].Key)
 		if err != nil {
 			return nil, err
 		}
-
-		chargedKey := fmt.Sprintf("orion-charged/%v", cutoff)
-		charged := orion.New()
-		charged.CutOff = cutoff
-		charged.ChargeOverhead = true
-		resCharged, err := r.ResultWith(chargedKey, charged, workload.Light, workflow.Strict)
+		resCharged, err := r.cached(cells[2*i+1].Key)
 		if err != nil {
 			return nil, err
 		}
-
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", cutoff/time.Millisecond),
 			pct(resFree.HitRate), pct(resCharged.HitRate),
@@ -76,9 +90,21 @@ func Fig11(r *Runner) (*Table, error) {
 		hit           float64
 		cost          float64
 	})
+	cells := make([]Cell, 0, len(Fig11Ks))
 	for _, k := range Fig11Ks {
-		s := core.New(core.WithK(k))
-		res, err := r.ResultWith(fmt.Sprintf("esg-k%d", k), s, workload.Light, workflow.Strict)
+		k := k
+		cells = append(cells, Cell{
+			Key:   fmt.Sprintf("esg-k%d", k),
+			Make:  func() (sched.Scheduler, error) { return core.New(core.WithK(k)), nil },
+			Level: workload.Light,
+			SLO:   workflow.Strict,
+		})
+	}
+	if err := r.Resolve(cells...); err != nil {
+		return nil, err
+	}
+	for _, k := range Fig11Ks {
+		res, err := r.cached(fmt.Sprintf("esg-k%d", k))
 		if err != nil {
 			return nil, err
 		}

@@ -60,6 +60,9 @@ func Table4(r *Runner) (*Table, error) {
 		Title:   "Pre-planned scheduling configuration miss rate",
 		Columns: []string{"Setting", "Best-first search (Orion)", "BO (Aquatope)"},
 	}
+	if err := r.Resolve(comparisonCells(r, []string{Orion, Aquatope}, Settings())...); err != nil {
+		return nil, err
+	}
 	for _, s := range Settings() {
 		orionRes, err := r.Result(Orion, s.Level, s.SLO)
 		if err != nil {

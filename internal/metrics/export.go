@@ -28,6 +28,11 @@ type Export struct {
 	ConfigMisses int     `json:"config_misses"`
 	MissRate     float64 `json:"miss_rate"`
 
+	PlanCacheHits          uint64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses        uint64 `json:"plan_cache_misses,omitempty"`
+	PlanCacheEvictions     uint64 `json:"plan_cache_evictions,omitempty"`
+	PlanCacheInvalidations uint64 `json:"plan_cache_invalidations,omitempty"`
+
 	OverheadMS OverheadStats `json:"overhead_ms"`
 	PerApp     []AppExport   `json:"per_app"`
 }
@@ -73,6 +78,11 @@ func (r *Result) ToExport(includeSeries bool) Export {
 		WarmStarts:   r.WarmStarts,
 		ConfigMisses: r.ConfigMisses,
 		MissRate:     r.MissRate(),
+
+		PlanCacheHits:          r.PlanCacheHits,
+		PlanCacheMisses:        r.PlanCacheMisses,
+		PlanCacheEvictions:     r.PlanCacheEvictions,
+		PlanCacheInvalidations: r.PlanCacheInvalidations,
 		OverheadMS: OverheadStats{
 			N: box.N, Min: box.Min, Median: box.Median, Mean: box.Mean, Max: box.Max,
 		},

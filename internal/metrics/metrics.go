@@ -73,6 +73,13 @@ type Result struct {
 	ColdStarts      int
 	WarmStarts      int
 
+	// Plan-cache counters (zero when the scheduler ran without a
+	// memoized search layer).
+	PlanCacheHits          uint64
+	PlanCacheMisses        uint64
+	PlanCacheEvictions     uint64
+	PlanCacheInvalidations uint64
+
 	UtilCPU float64
 	UtilGPU float64
 	SimTime time.Duration
@@ -94,9 +101,13 @@ func (r *Result) OverheadBox() stats.Box {
 
 // Summary renders a one-line result digest.
 func (r *Result) Summary() string {
-	return fmt.Sprintf("%s/%s/%s: hit=%.1f%% cost=%s n=%d unfinished=%d cold=%d warm=%d",
+	s := fmt.Sprintf("%s/%s/%s: hit=%.1f%% cost=%s n=%d unfinished=%d cold=%d warm=%d",
 		r.Scheduler, r.Workload, r.SLOLevel, 100*r.HitRate, r.TotalCost, r.Instances,
 		r.Unfinished, r.ColdStarts, r.WarmStarts)
+	if lookups := r.PlanCacheHits + r.PlanCacheMisses; lookups > 0 {
+		s += fmt.Sprintf(" plancache=%d/%d", r.PlanCacheHits, lookups)
+	}
+	return s
 }
 
 // Collector accumulates observations during a run.
@@ -113,6 +124,11 @@ type Collector struct {
 	forcedMin  int
 	prePlanned int
 	misses     int
+
+	cacheHits          uint64
+	cacheMisses        uint64
+	cacheEvictions     uint64
+	cacheInvalidations uint64
 }
 
 // NewCollector starts collection for one run.
@@ -139,6 +155,15 @@ func (c *Collector) RecordDispatch(forced bool) {
 	}
 }
 
+// RecordCacheStats notes the scheduler's plan-cache counters at the end of
+// a run.
+func (c *Collector) RecordCacheStats(hits, misses, evictions, invalidations uint64) {
+	c.cacheHits = hits
+	c.cacheMisses = misses
+	c.cacheEvictions = evictions
+	c.cacheInvalidations = invalidations
+}
+
 // RecordInstance notes one completed workflow instance.
 func (c *Collector) RecordInstance(inst *queue.Instance) {
 	c.records = append(c.records, InstanceRecord{
@@ -157,21 +182,25 @@ func (c *Collector) RecordInstance(inst *queue.Instance) {
 // from the cluster and engine; unfinished counts instances never completed.
 func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, utilGPU float64, simTime time.Duration) *Result {
 	r := &Result{
-		Scheduler:       c.scheduler,
-		Workload:        c.workload,
-		SLOLevel:        c.sloLevel,
-		Records:         c.records,
-		Overheads:       c.overheads,
-		Tasks:           c.tasks,
-		ForcedMin:       c.forcedMin,
-		PrePlannedPlans: c.prePlanned,
-		ConfigMisses:    c.misses,
-		ColdStarts:      coldStarts,
-		WarmStarts:      warmStarts,
-		Unfinished:      unfinished,
-		UtilCPU:         utilCPU,
-		UtilGPU:         utilGPU,
-		SimTime:         simTime,
+		Scheduler:              c.scheduler,
+		Workload:               c.workload,
+		SLOLevel:               c.sloLevel,
+		Records:                c.records,
+		Overheads:              c.overheads,
+		Tasks:                  c.tasks,
+		ForcedMin:              c.forcedMin,
+		PrePlannedPlans:        c.prePlanned,
+		ConfigMisses:           c.misses,
+		ColdStarts:             coldStarts,
+		WarmStarts:             warmStarts,
+		PlanCacheHits:          c.cacheHits,
+		PlanCacheMisses:        c.cacheMisses,
+		PlanCacheEvictions:     c.cacheEvictions,
+		PlanCacheInvalidations: c.cacheInvalidations,
+		Unfinished:             unfinished,
+		UtilCPU:                utilCPU,
+		UtilGPU:                utilGPU,
+		SimTime:                simTime,
 	}
 
 	perApp := make([]AppSummary, len(c.apps))

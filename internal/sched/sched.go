@@ -94,6 +94,27 @@ type Scheduler interface {
 // without extra admissibility constraints.
 func DefaultMinConfig() profile.Config { return profile.MinConfig }
 
+// PlanCacheStats are the counters of a scheduler's memoized plan search.
+type PlanCacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+}
+
+// PlanCaching is implemented by schedulers whose configuration search can
+// be memoized (ESG's plan cache). The Controller enables the cache when
+// its Config asks for one and reports the counters with the run's metrics.
+type PlanCaching interface {
+	// EnablePlanCache attaches a memoized search layer. capacity bounds
+	// the number of cached plans; granularity is the target-latency
+	// bucket width. Non-positive values select the implementation's
+	// defaults.
+	EnablePlanCache(capacity int, granularity time.Duration)
+	// PlanCacheStats returns the cache counters (zero without a cache).
+	PlanCacheStats() PlanCacheStats
+}
+
 // MeanServiceSplit distributes an end-to-end SLO over an app's stages
 // proportionally to the stages' average (minimum-configuration) service
 // times — the GrandSLAm-style distribution the paper applies to INFless and
