@@ -6,6 +6,7 @@
 //
 //	esgbench [flags] all
 //	esgbench [flags] table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sec53
+//	esgbench [flags] -scenario scale
 //
 // Flags:
 //
@@ -18,6 +19,12 @@
 //	-overhead M   how scheduling overhead is charged: measured (paper
 //	              default, wall clock — run-dependent), none, or fixed
 //	-quiet        suppress per-scenario progress
+//	-scenario S   scenario family: paper (default) or scale — the
+//	              production-scale stress run (256 heterogeneous nodes,
+//	              100× the heavy arrival rate, 8 concurrent applications)
+//	-nodes N      scale scenario: invoker count (default 256)
+//	-load F       scale scenario: arrival-rate multiplier (default 100)
+//	-requests N   scale scenario: trace length (default 30000 × -scale)
 package main
 
 import (
@@ -40,17 +47,24 @@ func main() {
 		plancache = flag.Bool("plancache", false, "enable the memoized ESG_1Q plan cache")
 		overhead  = flag.String("overhead", "measured", "scheduling-overhead mode: measured|none|fixed")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		scenario  = flag.String("scenario", "paper", "scenario family: paper (the §5 artifacts) or scale (256 nodes, 100× load, 8 apps)")
+		nodes     = flag.Int("nodes", 0, "scale scenario: invoker count (default 256)")
+		load      = flag.Float64("load", 0, "scale scenario: arrival-rate multiplier over heavy (default 100)")
+		requests  = flag.Int("requests", 0, "scale scenario: trace length (default 30000 × -scale)")
 	)
 	flag.Parse()
 
 	targets := flag.Args()
-	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53")
-		os.Exit(2)
-	}
 	if len(targets) == 1 && targets[0] == "all" {
 		targets = []string{"table1", "table3", "fig5", "fig6", "fig7", "fig8",
 			"table4", "fig9", "fig10", "fig11", "fig12", "sec53"}
+	}
+	if *scenario == "scale" && !contains(targets, "scale") {
+		targets = append(targets, "scale") // keep any explicit targets
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53 scale")
+		os.Exit(2)
 	}
 
 	r := experiments.NewRunner(*seed, *scale)
@@ -70,6 +84,9 @@ func main() {
 		r.Parallel = runtime.GOMAXPROCS(0)
 	}
 	r.PlanCache = *plancache
+	// Zero fields select ScaleScenario's defaults (256 nodes, 100×,
+	// 30000 × -scale requests, the adaptive schedulers).
+	scaleSpec = experiments.ScaleSpec{Nodes: *nodes, LoadFactor: *load, Requests: *requests}
 	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = nil
@@ -86,12 +103,35 @@ func main() {
 		table.Render(os.Stdout)
 	}
 	if progress != nil {
+		// Diagnostics only: the memo aggregate is deterministic once all
+		// targets resolved (misses = distinct training keys), but it is
+		// never part of the stdout artifacts.
+		if st := r.AquatopeMemoStats(); st.Hits+st.Misses > 0 {
+			fmt.Fprintf(progress, "aquatope training memo: %d hits / %d lookups\n",
+				st.Hits, st.Hits+st.Misses)
+		}
 		fmt.Fprintf(progress, "total wall time: %.1fs\n", time.Since(start).Seconds())
 	}
 }
 
+// contains reports whether list holds s.
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// scaleSpec carries the -nodes/-load/-requests overrides of the scale
+// scenario (zero fields select the defaults).
+var scaleSpec experiments.ScaleSpec
+
 func run(r *experiments.Runner, target string) (*experiments.Table, error) {
 	switch target {
+	case "scale":
+		return experiments.ScaleScenario(r, scaleSpec)
 	case "table1":
 		return experiments.Table1(), nil
 	case "table3":

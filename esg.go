@@ -249,6 +249,10 @@ var (
 // EvaluationApps returns the four applications in reporting order.
 func EvaluationApps() []*App { return workflow.EvaluationApps() }
 
+// ScaleApps returns the eight-application set of the production-scale
+// stress scenarios: the evaluation apps plus four further Table-3 chains.
+func ScaleApps() []*App { return workflow.ScaleApps() }
+
 // Chain builds a linear pipeline over the named functions.
 func Chain(name string, functions ...string) *App { return workflow.Chain(name, functions...) }
 
@@ -263,6 +267,13 @@ func SLOFor(app *App, level SLOLevel, reg *Registry) time.Duration {
 // Search runs ESG_1Q: A*-search with dual-blade pruning over a stage
 // sequence's configuration space (§3.3, Appendix B).
 func Search(in SearchInput) SearchResult { return core.Search(in) }
+
+// Searcher runs ESG_1Q searches on reusable scratch — the allocation-free
+// steady path for callers issuing many searches from one goroutine.
+type Searcher = core.Searcher
+
+// NewSearcher returns an empty Searcher; buffers grow on first use.
+func NewSearcher() *Searcher { return core.NewSearcher() }
 
 // BruteForceSearch exhaustively enumerates the configuration space; it is
 // the §5.3 comparison point and a correctness oracle for Search.
@@ -293,6 +304,12 @@ func DistributeSLO(app *App, oracle *Oracle, groupSize int) (*Distribution, erro
 // applications at the given workload level.
 func GenerateTrace(level Level, n, apps int, seed uint64) *Trace {
 	return workload.Generate(level, n, apps, rng.New(seed))
+}
+
+// GenerateCompressedTrace builds a trace with the level's arrival pattern
+// sped up by the given factor (the scale scenarios' 100× load).
+func GenerateCompressedTrace(level Level, speedup float64, n, apps int, seed uint64) *Trace {
+	return workload.GenerateCompressed(level, speedup, n, apps, rng.New(seed))
 }
 
 // Run executes one emulation of scheduler s over trace tr and returns its

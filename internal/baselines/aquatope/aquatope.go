@@ -8,7 +8,10 @@
 package aquatope
 
 import (
+	"fmt"
 	"math"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/esg-sched/esg/internal/bo"
@@ -35,8 +38,69 @@ type Scheduler struct {
 	PerRound  int
 	// Seed drives the offline profiling runs.
 	Seed uint64
+	// Memo, when non-nil, shares trained configurations across scheduler
+	// instances whose training inputs are identical (the offline process
+	// is scale-independent: it never sees the workload, so every scenario
+	// cell of a grid re-derives the same result). Nil trains locally.
+	Memo *TrainingMemo
 
 	plans map[int][]profile.Config // app index -> per-stage configs
+}
+
+// TrainingMemo shares Aquatope's offline BO training across schedulers.
+// Entries are keyed by the full training-input signature — seed, training
+// shape, application structure, function profiles, configuration space,
+// pricing, noise and transfer model — so a hit is guaranteed to return
+// exactly the configurations local training would have produced. Safe for
+// concurrent use: the first scheduler to need a key trains it, concurrent
+// lookups of the same key wait for that result.
+type TrainingMemo struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+	hits    uint64
+	misses  uint64
+}
+
+type memoEntry struct {
+	done chan struct{}
+	cfgs []profile.Config
+}
+
+// NewTrainingMemo returns an empty shared training memo.
+func NewTrainingMemo() *TrainingMemo {
+	return &TrainingMemo{entries: make(map[string]*memoEntry)}
+}
+
+// Stats returns the memo's aggregate counters. Which scheduler instance
+// records the miss for a shared key is execution-order-dependent under a
+// parallel runner, but the aggregate is not: once a grid has resolved,
+// misses equal the number of distinct training keys and hits the lookups
+// they saved — so the aggregate is the counter surfaced to users, never a
+// per-run export (the deterministic artifacts must stay byte-identical
+// between sequential and parallel runs).
+func (m *TrainingMemo) Stats() sched.TrainingMemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sched.TrainingMemoStats{Hits: m.hits, Misses: m.misses}
+}
+
+// cfgs returns the trained configurations for key, training at most once
+// per key via train.
+func (m *TrainingMemo) cfgs(key string, train func() []profile.Config) ([]profile.Config, bool) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		<-e.done
+		return e.cfgs, true
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.entries[key] = e
+	m.misses++
+	m.mu.Unlock()
+	e.cfgs = train()
+	close(e.done)
+	return e.cfgs, false
 }
 
 // New returns an Aquatope scheduler with the paper's training shape.
@@ -60,7 +124,7 @@ func (s *Scheduler) Name() string { return "Aquatope" }
 func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 	cfgs, ok := s.plans[q.AppIndex]
 	if !ok {
-		cfgs = s.train(env, q.AppIndex)
+		cfgs = s.trainCached(env, q.AppIndex)
 		s.plans[q.AppIndex] = cfgs
 	}
 	plan := sched.Plan{PrePlanned: true}
@@ -71,6 +135,41 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 	}
 	plan.Candidates = []profile.Config{cfg}
 	return plan
+}
+
+// trainCached trains through the shared memo when one is attached.
+func (s *Scheduler) trainCached(env *sched.Env, appIndex int) []profile.Config {
+	if s.Memo == nil {
+		return s.train(env, appIndex)
+	}
+	cfgs, _ := s.Memo.cfgs(s.trainingKey(env, appIndex), func() []profile.Config {
+		return s.train(env, appIndex)
+	})
+	return cfgs
+}
+
+// trainingKey names everything train consumes, so equal keys imply
+// identical training outcomes: the seed and training shape, the
+// application's position, name and baseline latency, each stage's profile
+// parameters, the configuration space, pricing, the noise model and the
+// inter-stage transfer estimate.
+func (s *Scheduler) trainingKey(env *sched.Env, appIndex int) string {
+	app := env.Apps[appIndex]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d;shape=%d/%d/%d;app=%d/%s;L=%d;noise=%g/%g;hop=%d;price=%v/%v",
+		s.Seed, s.Bootstrap, s.Rounds, s.PerRound, appIndex, app.Name,
+		int64(app.BaselineLatency(env.Registry)),
+		env.Noise.Sigma, env.Noise.Floor, int64(env.HopTransfer()),
+		env.Oracle.Pricing.CPURate, env.Oracle.Pricing.GPURate)
+	space := env.Oracle.Space
+	fmt.Fprintf(&sb, ";space=%v/%v/%v", space.Batches, space.CPUs, space.GPUs)
+	for i := 0; i < app.Len(); i++ {
+		fn := env.Registry.MustLookup(app.Stage(i).Function)
+		fmt.Fprintf(&sb, ";fn=%s/%d/%g/%g/%g/%g",
+			fn.Name, int64(fn.BaseExec), fn.CPUFraction, fn.ParallelFrac,
+			fn.CPUBatchSlope, fn.GPUBatchSlope)
+	}
+	return sb.String()
 }
 
 // sample is one offline profiling observation.

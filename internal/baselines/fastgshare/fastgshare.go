@@ -22,11 +22,26 @@ type Scheduler struct {
 	MaxCandidates int
 
 	splits map[int][]time.Duration
+	// ranked memoizes the sorted candidate list per (app, stage,
+	// quantized queue bound); see the INFless twin — the ranking is a
+	// pure function of which batch options fit, so memoization changes
+	// no candidate, only skips the per-Plan enumeration and sort.
+	ranked map[planKey][]profile.Config
+}
+
+// planKey locates one memoized candidate ranking.
+type planKey struct {
+	app, stage int
+	maxBatch   int // FunctionTable.QuantizeBatchBound of the queue length
 }
 
 // New returns a FaST-GShare scheduler.
 func New() *Scheduler {
-	return &Scheduler{MaxCandidates: 5, splits: make(map[int][]time.Duration)}
+	return &Scheduler{
+		MaxCandidates: 5,
+		splits:        make(map[int][]time.Duration),
+		ranked:        make(map[planKey][]profile.Config),
+	}
 }
 
 // Name implements sched.Scheduler.
@@ -47,8 +62,12 @@ func (s *Scheduler) stageBudget(env *sched.Env, q *queue.AFW) time.Duration {
 // §5.1 reports ("FaST-GShare always yields the largest latency").
 func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 	sw := sched.StartStopwatch(env)
-	budget := s.stageBudget(env, q)
 	table := env.StageTable(q.AppIndex, q.Stage)
+	key := planKey{app: q.AppIndex, stage: q.Stage, maxBatch: table.QuantizeBatchBound(q.Len())}
+	if cands, ok := s.ranked[key]; ok {
+		return sched.Plan{Candidates: cands, Overhead: sw.Elapsed()}
+	}
+	budget := s.stageBudget(env, q)
 
 	ests := table.LatencyAscending(q.Len())
 	var feasible []profile.Estimate
@@ -64,6 +83,7 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 		if len(ests) > 0 {
 			plan.Candidates = []profile.Config{ests[0].Config}
 		}
+		s.ranked[key] = plan.Candidates
 		return plan
 	}
 	sort.SliceStable(feasible, func(i, j int) bool {
@@ -76,6 +96,7 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 	for i := 0; i < len(feasible) && i < max; i++ {
 		plan.Candidates = append(plan.Candidates, feasible[i].Config)
 	}
+	s.ranked[key] = plan.Candidates
 	return plan
 }
 

@@ -23,11 +23,27 @@ type Scheduler struct {
 	MaxCandidates int
 
 	splits map[int][]time.Duration
+	// ranked memoizes the sorted candidate list per (app, stage,
+	// quantized queue bound): the ranking depends on the queue only
+	// through which batch options fit, so every queue length in a bucket
+	// reproduces the identical list — memoizing skips the per-Plan
+	// enumeration and stable sort without changing a single candidate.
+	ranked map[planKey][]profile.Config
+}
+
+// planKey locates one memoized candidate ranking.
+type planKey struct {
+	app, stage int
+	maxBatch   int // FunctionTable.QuantizeBatchBound of the queue length
 }
 
 // New returns an INFless scheduler.
 func New() *Scheduler {
-	return &Scheduler{MaxCandidates: 5, splits: make(map[int][]time.Duration)}
+	return &Scheduler{
+		MaxCandidates: 5,
+		splits:        make(map[int][]time.Duration),
+		ranked:        make(map[planKey][]profile.Config),
+	}
 }
 
 // Name implements sched.Scheduler.
@@ -48,8 +64,12 @@ func (s *Scheduler) stageBudget(env *sched.Env, q *queue.AFW) time.Duration {
 // throughput, which over-allocates GPU resources exactly as §5.1 observes.
 func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 	sw := sched.StartStopwatch(env)
-	budget := s.stageBudget(env, q)
 	table := env.StageTable(q.AppIndex, q.Stage)
+	key := planKey{app: q.AppIndex, stage: q.Stage, maxBatch: table.QuantizeBatchBound(q.Len())}
+	if cands, ok := s.ranked[key]; ok {
+		return sched.Plan{Candidates: cands, Overhead: sw.Elapsed()}
+	}
+	budget := s.stageBudget(env, q)
 
 	ests := table.LatencyAscending(q.Len())
 	var feasible []profile.Estimate
@@ -66,6 +86,7 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 		if len(ests) > 0 {
 			plan.Candidates = []profile.Config{ests[0].Config}
 		}
+		s.ranked[key] = plan.Candidates
 		return plan
 	}
 	nodeCap := units.Resources{CPU: env.Cluster.Cfg.NodeCPU, GPU: env.Cluster.Cfg.NodeGPU}
@@ -86,6 +107,7 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 	for i := 0; i < len(feasible) && i < max; i++ {
 		plan.Candidates = append(plan.Candidates, feasible[i].Config)
 	}
+	s.ranked[key] = plan.Candidates
 	return plan
 }
 

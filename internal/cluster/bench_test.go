@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// bench256 builds a 256-node cluster with a sprinkling of load and warm
+// containers, the shape of the scale scenario's placement queries.
+func bench256(b *testing.B) *Cluster {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = 256
+	c := MustNew(cfg)
+	for i, inv := range c.Invokers {
+		if i%3 == 0 {
+			if err := inv.Acquire(units.Resources{CPU: 4, GPU: 2}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if i%7 == 0 {
+			inv.AddWarm("fn-a", 0)
+		}
+	}
+	return c
+}
+
+// BenchmarkMostFree256 measures the cold-invoker fallback query on a
+// 256-node fleet (O(nodes) scan at seed, bucket walk now).
+func BenchmarkMostFree256(b *testing.B) {
+	c := bench256(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.MostFree() == nil {
+			b.Fatal("no invoker")
+		}
+	}
+}
+
+// BenchmarkWarmInvokers256 measures the warm-pool lookup on a 256-node
+// fleet where ~1/7 of the nodes hold a warm container.
+func BenchmarkWarmInvokers256(b *testing.B) {
+	c := bench256(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.WarmInvokers("fn-a", time.Second)) == 0 {
+			b.Fatal("no warm invokers")
+		}
+	}
+}
+
+// BenchmarkHasBusyOrWarming256 measures the defer-signal query (O(nodes)
+// scan at seed, counter read now).
+func BenchmarkHasBusyOrWarming256(b *testing.B) {
+	c := bench256(b)
+	c.Invokers[200].StartTask("fn-b", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.HasBusyOrWarming("fn-b") {
+			b.Fatal("lost the busy container")
+		}
+	}
+}

@@ -100,10 +100,12 @@ func (c Config) TransferTime(sizeMB float64, sameNode bool) time.Duration {
 	return c.RemoteLatency + time.Duration(secs*float64(time.Second))
 }
 
-// Cluster is the set of invokers.
+// Cluster is the set of invokers plus the incrementally maintained
+// placement indexes over them (see fleetIndex).
 type Cluster struct {
 	Cfg      Config
 	Invokers []*Invoker
+	idx      *fleetIndex
 }
 
 // New builds a cluster per cfg.
@@ -111,9 +113,10 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Cfg: cfg}
-	for i, shape := range cfg.Shapes() {
-		c.Invokers = append(c.Invokers, newInvoker(i, shape, cfg.KeepAlive))
+	shapes := cfg.Shapes()
+	c := &Cluster{Cfg: cfg, idx: newFleetIndex(shapes)}
+	for i, shape := range shapes {
+		c.Invokers = append(c.Invokers, newInvoker(i, shape, cfg.KeepAlive, c.idx))
 	}
 	return c, nil
 }
@@ -154,51 +157,80 @@ func (c *Cluster) TotalFree(now time.Duration) units.Resources {
 }
 
 // WarmInvokers returns invokers holding an idle warm container for the
-// function at time now, in ascending ID order.
+// function at time now, in ascending ID order. Only invokers in the warm
+// index are visited (and lazily pruned), not the whole fleet.
 func (c *Cluster) WarmInvokers(fn string, now time.Duration) []*Invoker {
 	var out []*Invoker
-	for _, inv := range c.Invokers {
-		if inv.HasIdleWarm(fn, now) {
+	for _, id := range c.idx.warmIDs(fn) {
+		if inv := c.Invokers[id]; inv.HasIdleWarm(fn, now) {
 			out = append(out, inv)
 		}
 	}
 	return out
 }
 
-// HasBusyOrWarming reports whether any invoker currently runs or warms a
-// container of fn — the signal that waiting for a container beats paying a
-// cold start.
-func (c *Cluster) HasBusyOrWarming(fn string) bool {
-	for _, inv := range c.Invokers {
-		if inv.BusyContainers(fn) > 0 || inv.Warming(fn) {
-			return true
+// FirstWarmFit returns the lowest-ID invoker holding an idle warm container
+// for fn at now whose free capacity fits res, or nil. It is the allocation-
+// free fast path of the dispatch policies' "any warm invoker" step.
+func (c *Cluster) FirstWarmFit(fn string, now time.Duration, res units.Resources) *Invoker {
+	for _, id := range c.idx.warmIDs(fn) {
+		inv := c.Invokers[id]
+		if inv.HasIdleWarm(fn, now) && inv.CanFit(res) {
+			return inv
 		}
 	}
-	return false
+	return nil
+}
+
+// HasBusyOrWarming reports whether any invoker currently runs or warms a
+// container of fn — the signal that waiting for a container beats paying a
+// cold start. O(1) via the fleet index.
+func (c *Cluster) HasBusyOrWarming(fn string) bool {
+	return c.idx.busyTotal[fn] > 0 || c.idx.warmingInv[fn] > 0
+}
+
+// ContainersFor counts every container of fn at now — busy, idle-warm
+// (pruned at now) and one per invoker with an in-flight pre-warm — the
+// fleet-wide pool size the pre-warm planners compare against demand.
+func (c *Cluster) ContainersFor(fn string, now time.Duration) int {
+	n := c.idx.busyTotal[fn] + c.idx.warmingInv[fn]
+	for _, id := range c.idx.warmIDs(fn) {
+		n += c.Invokers[id].IdleWarmCount(fn, now)
+	}
+	return n
 }
 
 // MostFree returns the invoker with the largest free GPU capacity (ties
 // broken by free CPU, then lowest ID) — the cold-invoker fallback of
 // ESG_Dispatch (§3.4).
 func (c *Cluster) MostFree() *Invoker {
-	var best *Invoker
-	for _, inv := range c.Invokers {
-		if best == nil || freeBetter(inv, best) {
-			best = inv
-		}
+	id := c.idx.mostFree()
+	if id < 0 {
+		return nil
 	}
-	return best
+	return c.Invokers[id]
 }
 
-func freeBetter(a, b *Invoker) bool {
-	fa, fb := a.Free(), b.Free()
-	if fa.GPU != fb.GPU {
-		return fa.GPU > fb.GPU
+// MostFreeNotWarming returns the invoker with the largest free GPU capacity
+// (ties broken by lowest ID) among those not already warming a container of
+// fn, or nil when every invoker is — the background warm-up target policy.
+func (c *Cluster) MostFreeNotWarming(fn string) *Invoker {
+	id := c.idx.mostFreeWhere(func(id int) bool { return !c.Invokers[id].Warming(fn) })
+	if id < 0 {
+		return nil
 	}
-	if fa.CPU != fb.CPU {
-		return fa.CPU > fb.CPU
+	return c.Invokers[id]
+}
+
+// BestFit returns the fitting invoker minimizing leftover GPU, then
+// leftover CPU, then ID (the INFless/FaST-GShare fragmentation-minimizing
+// policy), or nil when no invoker fits res.
+func (c *Cluster) BestFit(res units.Resources) *Invoker {
+	id := c.idx.bestFit(res)
+	if id < 0 {
+		return nil
 	}
-	return a.ID < b.ID
+	return c.Invokers[id]
 }
 
 // Utilization returns the cluster-wide time-averaged CPU and GPU

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"math/bits"
+
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// fleetIndex holds the incrementally maintained placement indexes of a
+// cluster, replacing the O(nodes) linear scans of the placement policies
+// with O(capacity-shape) bucket walks and O(1) counter reads:
+//
+//   - a free-capacity bucket grid: bucket (g, c) is the bitset of invokers
+//     whose free capacity is exactly (c vCPU, g vGPU), plus per-free-GPU
+//     row unions — MostFree, best-fit and warm-target selection walk the
+//     grid in the exact preference order of the scans they replaced, so
+//     tie-breaking (and with it the simulation) is unchanged;
+//   - per-function warm bitsets: the invokers holding a nonzero idle warm
+//     pool (possibly expired — membership is reconciled lazily when the
+//     pool is pruned);
+//   - per-function fleet-wide busy-container totals and counts of invokers
+//     with an in-flight pre-warm.
+//
+// Invokers push every ledger mutation into the index, so reads never scan
+// the fleet.
+type fleetIndex struct {
+	maxCPU int
+	maxGPU int
+	words  int // bitset words per bucket: ceil(nodes / 64)
+
+	counts []int    // per-bucket invoker counts, len (maxGPU+1)*(maxCPU+1)
+	bits   []uint64 // per-bucket bitsets, counts-aligned, words each
+	rows   []int    // per-free-GPU row counts, len maxGPU+1
+	rowBit []uint64 // per-row union bitsets, words each
+
+	warmSet    map[string][]uint64 // fn -> bitset of invokers with idle warm pools
+	busyTotal  map[string]int      // fn -> total busy containers
+	warmingInv map[string]int      // fn -> invokers with warming[fn] > 0
+
+	idScratch []int // reusable ID buffer for iteration that mutates bitsets
+}
+
+func newFleetIndex(shapes []units.Resources) *fleetIndex {
+	x := &fleetIndex{
+		warmSet:    make(map[string][]uint64),
+		busyTotal:  make(map[string]int),
+		warmingInv: make(map[string]int),
+	}
+	for _, s := range shapes {
+		if int(s.CPU) > x.maxCPU {
+			x.maxCPU = int(s.CPU)
+		}
+		if int(s.GPU) > x.maxGPU {
+			x.maxGPU = int(s.GPU)
+		}
+	}
+	x.words = (len(shapes) + 63) / 64
+	nb := (x.maxGPU + 1) * (x.maxCPU + 1)
+	x.counts = make([]int, nb)
+	x.bits = make([]uint64, nb*x.words)
+	x.rows = make([]int, x.maxGPU+1)
+	x.rowBit = make([]uint64, (x.maxGPU+1)*x.words)
+	for id, s := range shapes {
+		x.add(id, s) // a fresh invoker is fully free
+	}
+	return x
+}
+
+func (x *fleetIndex) bucket(free units.Resources) int {
+	return int(free.GPU)*(x.maxCPU+1) + int(free.CPU)
+}
+
+func (x *fleetIndex) add(id int, free units.Resources) {
+	b := x.bucket(free)
+	x.counts[b]++
+	x.bits[b*x.words+id/64] |= 1 << (id % 64)
+	x.rows[free.GPU]++
+	x.rowBit[int(free.GPU)*x.words+id/64] |= 1 << (id % 64)
+}
+
+func (x *fleetIndex) remove(id int, free units.Resources) {
+	b := x.bucket(free)
+	x.counts[b]--
+	x.bits[b*x.words+id/64] &^= 1 << (id % 64)
+	x.rows[free.GPU]--
+	x.rowBit[int(free.GPU)*x.words+id/64] &^= 1 << (id % 64)
+}
+
+// capacityChanged moves an invoker between buckets when its free capacity
+// changes.
+func (x *fleetIndex) capacityChanged(id int, oldFree, newFree units.Resources) {
+	if oldFree == newFree {
+		return
+	}
+	x.remove(id, oldFree)
+	x.add(id, newFree)
+}
+
+// lowestID returns the smallest invoker ID in the bitset at word offset
+// off, or -1 when empty.
+func (x *fleetIndex) lowestID(set []uint64, off int) int {
+	for w := 0; w < x.words; w++ {
+		if v := set[off+w]; v != 0 {
+			return w*64 + bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
+
+// mostFree returns the invoker with the largest free GPU capacity, ties
+// broken by free CPU, then lowest ID — the preference order of the linear
+// MostFree scan.
+func (x *fleetIndex) mostFree() int {
+	for g := x.maxGPU; g >= 0; g-- {
+		if x.rows[g] == 0 {
+			continue
+		}
+		for c := x.maxCPU; c >= 0; c-- {
+			b := g*(x.maxCPU+1) + c
+			if x.counts[b] == 0 {
+				continue
+			}
+			return x.lowestID(x.bits, b*x.words)
+		}
+	}
+	return -1
+}
+
+// bestFit returns the fitting invoker that minimizes leftover GPU, then
+// leftover CPU, then ID — the fragmentation-minimizing best-fit order.
+// It returns -1 when no invoker fits res.
+func (x *fleetIndex) bestFit(res units.Resources) int {
+	if res.CPU < 0 || res.GPU < 0 {
+		return -1
+	}
+	for g := int(res.GPU); g <= x.maxGPU; g++ {
+		if x.rows[g] == 0 {
+			continue
+		}
+		for c := int(res.CPU); c <= x.maxCPU; c++ {
+			b := g*(x.maxCPU+1) + c
+			if x.counts[b] == 0 {
+				continue
+			}
+			return x.lowestID(x.bits, b*x.words)
+		}
+	}
+	return -1
+}
+
+// mostFreeWhere returns the invoker with the largest free GPU capacity
+// (ties broken by lowest ID, ignoring free CPU) among those satisfying
+// keep, or -1 when none does — the background warm-target preference.
+func (x *fleetIndex) mostFreeWhere(keep func(id int) bool) int {
+	for g := x.maxGPU; g >= 0; g-- {
+		if x.rows[g] == 0 {
+			continue
+		}
+		off := g * x.words
+		for w := 0; w < x.words; w++ {
+			v := x.rowBit[off+w]
+			for v != 0 {
+				id := w*64 + bits.TrailingZeros64(v)
+				v &= v - 1
+				if keep(id) {
+					return id
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// warmPresence records whether an invoker currently holds a nonzero idle
+// warm pool for fn.
+func (x *fleetIndex) warmPresence(fn string, id int, present bool) {
+	set, ok := x.warmSet[fn]
+	if !ok {
+		if !present {
+			return
+		}
+		set = make([]uint64, x.words)
+		x.warmSet[fn] = set
+	}
+	if present {
+		set[id/64] |= 1 << (id % 64)
+	} else {
+		set[id/64] &^= 1 << (id % 64)
+	}
+}
+
+// warmIDs appends the IDs in fn's warm bitset to the reusable scratch in
+// ascending order and returns it. The snapshot keeps iteration stable while
+// callers prune pools (which may clear bits mid-walk).
+func (x *fleetIndex) warmIDs(fn string) []int {
+	ids := x.idScratch[:0]
+	set, ok := x.warmSet[fn]
+	if !ok {
+		x.idScratch = ids
+		return ids
+	}
+	for w, v := range set {
+		for v != 0 {
+			ids = append(ids, w*64+bits.TrailingZeros64(v))
+			v &= v - 1
+		}
+	}
+	x.idScratch = ids
+	return ids
+}
+
+func (x *fleetIndex) busyDelta(fn string, d int) {
+	n := x.busyTotal[fn] + d
+	if n == 0 {
+		delete(x.busyTotal, fn)
+	} else {
+		x.busyTotal[fn] = n
+	}
+}
+
+func (x *fleetIndex) warmingDelta(fn string, d int) {
+	n := x.warmingInv[fn] + d
+	if n == 0 {
+		delete(x.warmingInv, fn)
+	} else {
+		x.warmingInv[fn] = n
+	}
+}

@@ -16,6 +16,10 @@ type Invoker struct {
 	Capacity  units.Resources
 	keepAlive time.Duration
 
+	// idx receives every ledger mutation so cluster-wide queries need not
+	// scan the fleet; nil for invokers outside a cluster.
+	idx *fleetIndex
+
 	used units.Resources
 	// warm maps function name -> expiry times of idle warm containers.
 	warm map[string][]time.Duration
@@ -34,11 +38,12 @@ type Invoker struct {
 	WarmStarts int
 }
 
-func newInvoker(id int, cap units.Resources, keepAlive time.Duration) *Invoker {
+func newInvoker(id int, cap units.Resources, keepAlive time.Duration, idx *fleetIndex) *Invoker {
 	return &Invoker{
 		ID:        id,
 		Capacity:  cap,
 		keepAlive: keepAlive,
+		idx:       idx,
 		warm:      make(map[string][]time.Duration),
 		busy:      make(map[string]int),
 		warming:   make(map[string]int),
@@ -62,16 +67,24 @@ func (inv *Invoker) Acquire(r units.Resources, now time.Duration) error {
 		return fmt.Errorf("invoker %d: acquire %v exceeds free %v", inv.ID, r, inv.Free())
 	}
 	inv.integrate(now)
+	old := inv.Free()
 	inv.used = inv.used.Add(r)
+	if inv.idx != nil {
+		inv.idx.capacityChanged(inv.ID, old, inv.Free())
+	}
 	return nil
 }
 
 // Release returns r to the free pool at time now.
 func (inv *Invoker) Release(r units.Resources, now time.Duration) {
 	inv.integrate(now)
+	old := inv.Free()
 	inv.used = inv.used.Sub(r)
 	if !inv.used.NonNegative() {
 		panic(fmt.Sprintf("invoker %d: released more than acquired (used=%v)", inv.ID, inv.used))
+	}
+	if inv.idx != nil {
+		inv.idx.capacityChanged(inv.ID, old, inv.Free())
 	}
 }
 
@@ -92,7 +105,10 @@ func (inv *Invoker) usageIntegral(now time.Duration) (cpu, gpu float64) {
 
 // pruneWarm drops idle containers whose keep-alive expired by now.
 func (inv *Invoker) pruneWarm(fn string, now time.Duration) {
-	pool := inv.warm[fn]
+	pool, ok := inv.warm[fn]
+	if !ok {
+		return
+	}
 	kept := pool[:0]
 	for _, exp := range pool {
 		if exp > now {
@@ -101,8 +117,17 @@ func (inv *Invoker) pruneWarm(fn string, now time.Duration) {
 	}
 	if len(kept) == 0 {
 		delete(inv.warm, fn)
+		inv.noteWarmPool(fn, false)
 	} else {
 		inv.warm[fn] = kept
+	}
+}
+
+// noteWarmPool reconciles the cluster's warm index with this invoker's idle
+// pool for fn.
+func (inv *Invoker) noteWarmPool(fn string, present bool) {
+	if inv.idx != nil {
+		inv.idx.warmPresence(fn, inv.ID, present)
 	}
 }
 
@@ -137,12 +162,19 @@ func (inv *Invoker) StartTask(fn string, now time.Duration) (warm bool) {
 		inv.warm[fn] = pool[1:]
 		if len(inv.warm[fn]) == 0 {
 			delete(inv.warm, fn)
+			inv.noteWarmPool(fn, false)
 		}
 		inv.busy[fn]++
+		if inv.idx != nil {
+			inv.idx.busyDelta(fn, 1)
+		}
 		inv.WarmStarts++
 		return true
 	}
 	inv.busy[fn]++
+	if inv.idx != nil {
+		inv.idx.busyDelta(fn, 1)
+	}
 	inv.ColdStarts++
 	return false
 }
@@ -154,19 +186,29 @@ func (inv *Invoker) FinishTask(fn string, now time.Duration) {
 		panic(fmt.Sprintf("invoker %d: FinishTask(%s) without StartTask", inv.ID, fn))
 	}
 	inv.busy[fn]--
+	if inv.idx != nil {
+		inv.idx.busyDelta(fn, -1)
+	}
 	inv.warm[fn] = append(inv.warm[fn], now+inv.keepAlive)
+	inv.noteWarmPool(fn, true)
 }
 
 // AddWarm installs an idle warm container (the pre-warmer's effect) at now.
 func (inv *Invoker) AddWarm(fn string, now time.Duration) {
 	inv.pruneWarm(fn, now)
 	inv.warm[fn] = append(inv.warm[fn], now+inv.keepAlive)
+	inv.noteWarmPool(fn, true)
 }
 
 // BeginWarming marks a container of fn as being cold-started ahead of
 // demand; FinishWarming adds it to the idle pool when the cold start
 // completes.
-func (inv *Invoker) BeginWarming(fn string) { inv.warming[fn]++ }
+func (inv *Invoker) BeginWarming(fn string) {
+	inv.warming[fn]++
+	if inv.warming[fn] == 1 && inv.idx != nil {
+		inv.idx.warmingDelta(fn, 1)
+	}
+}
 
 // Warming reports whether a pre-warm of fn is in flight.
 func (inv *Invoker) Warming(fn string) bool { return inv.warming[fn] > 0 }
@@ -177,6 +219,9 @@ func (inv *Invoker) FinishWarming(fn string, now time.Duration) {
 		panic(fmt.Sprintf("invoker %d: FinishWarming(%s) without BeginWarming", inv.ID, fn))
 	}
 	inv.warming[fn]--
+	if inv.warming[fn] == 0 && inv.idx != nil {
+		inv.idx.warmingDelta(fn, -1)
+	}
 	inv.AddWarm(fn, now)
 }
 

@@ -100,7 +100,7 @@ type Config struct {
 // Defaulted fills zero values with the paper's defaults and returns the
 // completed config.
 func (c Config) Defaulted() Config {
-	if c.Cluster.Nodes == 0 {
+	if c.Cluster.Nodes == 0 && len(c.Cluster.NodeShapes) == 0 {
 		c.Cluster = cluster.DefaultConfig()
 	}
 	if c.Space.Size() == 0 {
@@ -167,7 +167,12 @@ type Controller struct {
 	// Round-robin cursor and recheck list.
 	cursor    int
 	recheck   []*queue.AFW
-	inRecheck map[int]bool
+	inRecheck []bool // indexed by queue ID
+
+	// jobBufs recycles the job slices handed from TakeAppend to task
+	// completion, so steady-state dispatch reuses storage instead of
+	// allocating per task.
+	jobBufs [][]*queue.Job
 
 	passPending bool
 	lastPass    time.Duration
@@ -226,7 +231,7 @@ func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error)
 		noiseSrc:    rng.New(cfg.Seed ^ 0xE5C9DD4B1A2F3C71),
 		predictors:  make([]*prewarm.Predictor, len(qs.Queues)),
 		lastInvoker: make([]int, len(qs.Queues)),
-		inRecheck:   make(map[int]bool),
+		inRecheck:   make([]bool, len(qs.Queues)),
 	}
 	if cfg.PlanCache {
 		if pc, ok := s.(sched.PlanCaching); ok {
@@ -553,8 +558,26 @@ func (c *Controller) retryRecheck() {
 }
 
 func (c *Controller) dropRecheck(q *queue.AFW) {
-	delete(c.inRecheck, q.ID)
+	c.inRecheck[q.ID] = false
 	q.RecheckRounds = 0
+}
+
+// getJobBuf returns a recycled job slice (or nil, which TakeAppend grows).
+func (c *Controller) getJobBuf() []*queue.Job {
+	if n := len(c.jobBufs); n > 0 {
+		buf := c.jobBufs[n-1]
+		c.jobBufs = c.jobBufs[:n-1]
+		return buf[:0]
+	}
+	return nil
+}
+
+// putJobBuf recycles a job slice once its task completed.
+func (c *Controller) putJobBuf(buf []*queue.Job) {
+	for i := range buf {
+		buf[i] = nil
+	}
+	c.jobBufs = append(c.jobBufs, buf)
 }
 
 // dispatch commits a task: claims resources and a container, charges cold
@@ -562,7 +585,7 @@ func (c *Controller) dropRecheck(q *queue.AFW) {
 // time, and schedules completion.
 func (c *Controller) dispatch(q *queue.AFW, cfg profile.Config, inv *cluster.Invoker, overhead time.Duration, forced bool) {
 	now := c.engine.Now()
-	jobs := q.Take(cfg.Batch)
+	jobs := q.TakeAppend(c.getJobBuf(), cfg.Batch)
 	fn := c.cfg.Registry.MustLookup(q.Function)
 	res := cfg.Resources()
 
@@ -641,6 +664,7 @@ func (c *Controller) complete(q *queue.AFW, jobs []*queue.Job, cfg profile.Confi
 			c.collector.RecordInstance(j.Instance)
 		}
 	}
+	c.putJobBuf(jobs)
 	c.requestPass()
 }
 
@@ -743,13 +767,7 @@ func (c *Controller) ensureWarmPool(fn string) {
 		return
 	}
 	now := c.engine.Now()
-	existing := 0
-	for _, inv := range c.clu.Invokers {
-		existing += inv.BusyContainers(fn) + inv.IdleWarmCount(fn, now)
-		if inv.Warming(fn) {
-			existing++
-		}
-	}
+	existing := c.clu.ContainersFor(fn, now)
 	deficit := need - existing
 	if deficit <= 0 {
 		return
@@ -776,16 +794,7 @@ func (c *Controller) ensureWarmPool(fn string) {
 // pickWarmTarget chooses the invoker for a background warm-up: the one with
 // the most free GPU among those not already warming fn.
 func (c *Controller) pickWarmTarget(fn string) *cluster.Invoker {
-	var best *cluster.Invoker
-	for _, inv := range c.clu.Invokers {
-		if inv.Warming(fn) {
-			continue
-		}
-		if best == nil || inv.Free().GPU > best.Free().GPU {
-			best = inv
-		}
-	}
-	return best
+	return c.clu.MostFreeNotWarming(fn)
 }
 
 // observeForPrewarm feeds the queue's EWMA predictor and, when the next

@@ -165,27 +165,13 @@ func (c *PlanCache) QuantizeGSLO(d time.Duration) time.Duration {
 }
 
 // quantizeFirstBatch maps the queue depth to the largest batch option of
-// the first stage that is <= depth. Depths at or beyond the largest option
-// (and unbounded depths, <= 0) map to 0 ("unbounded"): the filtered config
-// list is identical for all of them.
+// the first stage that is <= depth (see FunctionTable.QuantizeBatchBound):
+// the filtered config list is identical for every depth in a bucket.
 func quantizeFirstBatch(in SearchInput, depth int) int {
-	if depth <= 0 || len(in.Tables) == 0 {
+	if len(in.Tables) == 0 {
 		return 0
 	}
-	best, max := 0, 0
-	for _, e := range in.Tables[0].ByLatency {
-		b := e.Config.Batch
-		if b > max {
-			max = b
-		}
-		if b <= depth && b > best {
-			best = b
-		}
-	}
-	if depth >= max {
-		return 0
-	}
-	return best
+	return in.Tables[0].QuantizeBatchBound(depth)
 }
 
 // Search runs a memoized ESG_1Q search. sig must identify everything that

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// est builds a synthetic profile estimate for the drain-path tests.
+func est(batch int, cpu units.VCPU, gpu units.VGPU, t time.Duration, jobCost units.Money) profile.Estimate {
+	return profile.Estimate{
+		Config:  profile.Config{Batch: batch, CPU: cpu, GPU: gpu},
+		Time:    t,
+		JobCost: jobCost,
+	}
+}
+
+// TestDrainPathCappedAllStagesOverCap: when a stage has no config under the
+// cap, the capped variant reports !ok and contributes no path.
+func TestDrainPathCappedAllStagesOverCap(t *testing.T) {
+	lists := [][]profile.Estimate{
+		{est(1, 2, 2, 100*time.Millisecond, 10)},
+		{est(1, 8, 7, 100*time.Millisecond, 10)}, // over a {CPU:4, GPU:4} cap
+	}
+	if _, ok := drainPathCapped(lists, 0, units.Resources{CPU: 4, GPU: 4}); ok {
+		t.Fatalf("capped drain path built despite stage 1 exceeding the cap")
+	}
+	// The unrestricted cap (zero components) must always succeed.
+	p, ok := drainPathCapped(lists, 0, units.Resources{})
+	if !ok || len(p.Ests) != 2 {
+		t.Fatalf("unrestricted drain path missing: ok=%v ests=%d", ok, len(p.Ests))
+	}
+}
+
+// TestDrainPathsFallsBackWhenEveryCapFails: configs larger than every cap in
+// the ladder leave only the unrestricted fallback, which must still produce
+// exactly one path.
+func TestDrainPathsFallsBackWhenEveryCapFails(t *testing.T) {
+	lists := [][]profile.Estimate{
+		{est(1, 12, 7, 50*time.Millisecond, 5)}, // CPU 12 > every capped CPU
+	}
+	paths := drainPaths(lists, 0)
+	if len(paths) != 1 {
+		t.Fatalf("want exactly the fallback path, got %d", len(paths))
+	}
+	if got := paths[0].Ests[0].Config; got.CPU != 12 {
+		t.Fatalf("fallback picked %v, want the only config", got)
+	}
+}
+
+// TestDrainPathCappedPerJobSelection: the drain policy minimizes per-job
+// time (task time / batch), not task time — a slower but larger batch wins
+// when its per-job share is smaller.
+func TestDrainPathCappedPerJobSelection(t *testing.T) {
+	lists := [][]profile.Estimate{{
+		est(1, 1, 1, 100*time.Millisecond, 4), // 100ms per job
+		est(4, 1, 1, 200*time.Millisecond, 3), // 50ms per job: best
+	}}
+	p, ok := drainPathCapped(lists, 0, units.Resources{})
+	if !ok {
+		t.Fatal("no drain path")
+	}
+	if got := p.Ests[0].Config.Batch; got != 4 {
+		t.Fatalf("picked batch %d, want 4 (smallest per-job time)", got)
+	}
+}
+
+// TestDrainPathCappedPerJobTieBreaksOnCost: equal per-job times fall back
+// to the cheaper job cost.
+func TestDrainPathCappedPerJobTieBreaksOnCost(t *testing.T) {
+	lists := [][]profile.Estimate{{
+		est(2, 1, 1, 100*time.Millisecond, 9), // 50ms per job, cost 9
+		est(4, 1, 1, 200*time.Millisecond, 3), // 50ms per job, cost 3: best
+		est(1, 1, 1, 50*time.Millisecond, 7),  // 50ms per job, cost 7 (later, loses)
+	}}
+	p, ok := drainPathCapped(lists, 0, units.Resources{})
+	if !ok {
+		t.Fatal("no drain path")
+	}
+	if got := p.Ests[0]; got.Config.Batch != 4 || got.JobCost != 3 {
+		t.Fatalf("picked %v (cost %v), want the cheapest per-job tie", got.Config, got.JobCost)
+	}
+}
+
+// TestDrainPathsDedupByFirstStageConfig: caps that resolve to the same
+// first-stage configuration must collapse to one path.
+func TestDrainPathsDedupByFirstStageConfig(t *testing.T) {
+	// One config fitting every cap: all four cap levels pick it, so the
+	// ladder must emit a single path.
+	lists := [][]profile.Estimate{
+		{est(1, 1, 1, 100*time.Millisecond, 10)},
+		{est(1, 1, 1, 80*time.Millisecond, 8)},
+	}
+	paths := drainPaths(lists, time.Millisecond)
+	if len(paths) != 1 {
+		t.Fatalf("duplicate first-stage configs not deduped: got %d paths", len(paths))
+	}
+	wantTime := 100*time.Millisecond + 80*time.Millisecond + time.Millisecond // + hop
+	if paths[0].Time != wantTime {
+		t.Fatalf("path time %v, want %v (hop charged between stages)", paths[0].Time, wantTime)
+	}
+}
+
+// TestDrainPathsDistinctCapsDistinctPaths: when tighter caps force smaller
+// configurations, each distinct first-stage config yields its own variant,
+// in decreasing-footprint order.
+func TestDrainPathsDistinctCapsDistinctPaths(t *testing.T) {
+	lists := [][]profile.Estimate{{
+		est(8, 8, 7, 100*time.Millisecond, 20), // only under the {8,7} cap
+		est(4, 4, 4, 150*time.Millisecond, 10), // under {4,4} and looser
+		est(1, 1, 1, 400*time.Millisecond, 2),  // under every cap
+	}}
+	paths := drainPaths(lists, 0)
+	if len(paths) < 3 {
+		t.Fatalf("want one variant per distinct footprint, got %d", len(paths))
+	}
+	if g0 := paths[0].Ests[0].Config.GPU; g0 != 7 {
+		t.Fatalf("first variant should be the largest footprint, got GPU=%d", g0)
+	}
+	last := paths[len(paths)-1].Ests[0].Config
+	if last.GPU != 1 || last.CPU != 1 {
+		t.Fatalf("last variant should be the minimum footprint, got %v", last)
+	}
+}

@@ -6,8 +6,8 @@
 package core
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/esg-sched/esg/internal/profile"
@@ -73,11 +73,43 @@ type SearchResult struct {
 
 const defaultMaxExpansions = 4 << 20
 
+// Searcher runs ESG_1Q searches with reusable scratch: the A* node arena,
+// the frontier heap, the per-stage configuration lists and the suffix
+// bounds all live in buffers that survive across searches, so a warm
+// Searcher expands the configuration graph without allocating on the
+// steady path. A Searcher is not safe for concurrent use; the package-
+// level Search draws Searchers from a pool.
+type Searcher struct {
+	lists        [][]profile.Estimate
+	estBuf       []profile.Estimate
+	minTimeAfter []time.Duration
+	minCostAfter []units.Money
+	arena        []node
+	open         []openItem
+	best         pathHeap
+}
+
+// NewSearcher returns an empty Searcher; buffers grow on first use and are
+// reused afterwards.
+func NewSearcher() *Searcher { return &Searcher{} }
+
+var searcherPool = sync.Pool{New: func() any { return NewSearcher() }}
+
 // Search runs ESG_1Q: best-first (A*) search over the layered configuration
 // graph with dual-blade pruning — partial paths are cut when their time
 // lower bound exceeds GSLO or their cost lower bound cannot improve on the
 // K-th best known completion (§3.3).
 func Search(in SearchInput) SearchResult {
+	s := searcherPool.Get().(*Searcher)
+	res := s.Search(in)
+	searcherPool.Put(s)
+	return res
+}
+
+// Search runs one ESG_1Q search on the reusable scratch. The returned
+// result does not alias the scratch, so it stays valid across subsequent
+// searches.
+func (s *Searcher) Search(in SearchInput) SearchResult {
 	m := len(in.Tables)
 	if m == 0 {
 		return SearchResult{Feasible: true}
@@ -94,27 +126,20 @@ func Search(in SearchInput) SearchResult {
 	// Per-stage config lists sorted ascending by latency (Algorithm 1's
 	// ConfigLists), with the queue-length bound on the first stage and the
 	// ablation filter applied.
-	lists := make([][]profile.Estimate, m)
-	for j := 0; j < m; j++ {
-		maxBatch := 0
-		if j == 0 {
-			maxBatch = in.MaxFirstBatch
-		}
-		lists[j] = filteredList(in.Tables[j], maxBatch, in.Filter)
-		if len(lists[j]) == 0 {
-			// Over-constrained (e.g., filter excludes everything):
-			// fall back to the unfiltered fastest config.
-			lists[j] = in.Tables[j].ByLatency[:1]
-		}
-	}
+	s.prepareLists(in, m)
 
 	// Suffix bounds for the two blades:
 	//   minTimeAfter[j] — fastest possible completion of stages > j,
 	//   minCostAfter[j] — cheapest possible completion of stages > j.
-	minTimeAfter := make([]time.Duration, m+1)
-	minCostAfter := make([]units.Money, m+1)
+	if cap(s.minTimeAfter) < m+1 {
+		s.minTimeAfter = make([]time.Duration, m+1)
+		s.minCostAfter = make([]units.Money, m+1)
+	}
+	minTimeAfter := s.minTimeAfter[:m+1]
+	minCostAfter := s.minCostAfter[:m+1]
+	minTimeAfter[m], minCostAfter[m] = 0, 0
 	for j := m - 1; j >= 0; j-- {
-		mt, mc := listBounds(lists[j])
+		mt, mc := listBounds(s.lists[j])
 		hop := time.Duration(0)
 		if j > 0 {
 			hop = in.Hop
@@ -124,28 +149,33 @@ func Search(in SearchInput) SearchResult {
 	}
 
 	res := SearchResult{}
-	best := newPathHeap(k)   // the K cheapest feasible full paths
-	open := &nodeHeap{}      // A* frontier ordered by cost lower bound
-	root := &node{level: -1} // virtual start node
-	root.f = minCostAfter[0] // admissible heuristic from the start
-	heap.Push(open, root)
+	s.best.reset(k)                                // the K cheapest feasible full paths
+	s.open = s.open[:0]                            // A* frontier ordered by cost lower bound
+	s.arena = append(s.arena[:0], node{level: -1}) // virtual start node
+	s.pushOpen(minCostAfter[0], 0)                 // admissible heuristic from the start
 
-	for open.Len() > 0 {
-		n := heap.Pop(open).(*node)
-		if best.full() && n.f >= best.worst() {
+	// bestFull/bestWorst mirror s.best's pruning threshold so the inner
+	// loop reads locals; they are refreshed after every accepted path.
+	bestFull := false
+	var bestWorst units.Money
+	for len(s.open) > 0 {
+		it := s.popOpen()
+		if bestFull && it.f >= bestWorst {
 			break // no remaining node can beat the K-th best full path
 		}
 		res.Expanded++
 		if res.Expanded > maxExp {
 			break
 		}
-		j := n.level + 1 // stage to configure next
+		n := s.arena[it.idx]  // copied: the arena may grow below
+		j := int(n.level) + 1 // stage to configure next
 		hop := time.Duration(0)
 		if j > 0 {
 			hop = in.Hop
 		}
-		for idx := range lists[j] {
-			est := &lists[j][idx]
+		list := s.lists[j]
+		for idx := range list {
+			est := &list[idx]
 			t := n.time + hop + est.Time
 			tLow := t + minTimeAfter[j+1]
 			if tLow > in.GSLO {
@@ -162,43 +192,152 @@ func Search(in SearchInput) SearchResult {
 			// instead — the same blade, with a sound threshold. The
 			// best-first order fills the heap with cheap completions
 			// quickly, so the blade engages early.
-			if best.full() && rscLow > best.worst() {
+			if bestFull && rscLow > bestWorst {
 				continue
 			}
 			if j == m-1 {
-				best.add(buildPath(n, est, t, c, lists))
+				s.best.add(s.buildPath(it.idx, est, t, c))
+				if bestFull = s.best.full(); bestFull {
+					bestWorst = s.best.worst()
+				}
 				continue
 			}
-			child := &node{parent: n, estIdx: idx, level: j, time: t, cost: c}
-			child.f = c + minCostAfter[j+1]
-			heap.Push(open, child)
+			s.arena = append(s.arena, node{
+				parent: it.idx, estIdx: int32(idx), level: int32(j), time: t, cost: c,
+			})
+			s.pushOpen(rscLow, int32(len(s.arena)-1))
 		}
 	}
 
-	res.Paths = best.sorted()
+	res.Paths = s.best.take()
 	res.Feasible = len(res.Paths) > 0
 	if !res.Feasible {
-		res.Paths = drainPaths(lists, in.Hop)
+		res.Paths = drainPaths(s.lists, in.Hop)
 	}
 	return res
 }
 
-// node is a partial path covering stages 0..level.
-type node struct {
-	parent *node
-	estIdx int
-	level  int
-	time   time.Duration
-	cost   units.Money
-	f      units.Money // cost + admissible remaining-cost heuristic
+// prepareLists fills s.lists with the per-stage configuration lists. Stages
+// without a batch bound or filter reference the table's ByLatency slice
+// directly; filtered stages are copied into the reusable estBuf, which is
+// pre-grown so that per-stage views never move under later appends.
+func (s *Searcher) prepareLists(in SearchInput, m int) {
+	total := 0
+	for j := 0; j < m; j++ {
+		total += len(in.Tables[j].ByLatency)
+	}
+	if cap(s.estBuf) < total {
+		s.estBuf = make([]profile.Estimate, 0, total)
+	}
+	buf := s.estBuf[:0]
+	lists := s.lists[:0]
+	for j := 0; j < m; j++ {
+		maxBatch := 0
+		if j == 0 {
+			maxBatch = in.MaxFirstBatch
+		}
+		src := in.Tables[j].ByLatency
+		if maxBatch <= 0 && in.Filter == nil {
+			lists = append(lists, src)
+			continue
+		}
+		start := len(buf)
+		for i := range src {
+			e := &src[i]
+			if maxBatch > 0 && e.Config.Batch > maxBatch {
+				continue
+			}
+			if in.Filter != nil && !in.Filter(e.Config) {
+				continue
+			}
+			buf = append(buf, *e)
+		}
+		if len(buf) == start {
+			// Over-constrained (e.g., filter excludes everything):
+			// fall back to the unfiltered fastest config.
+			lists = append(lists, src[:1])
+			continue
+		}
+		lists = append(lists, buf[start:len(buf):len(buf)])
+	}
+	s.estBuf = buf
+	s.lists = lists
 }
 
-func buildPath(n *node, last *profile.Estimate, t time.Duration, c units.Money, lists [][]profile.Estimate) Path {
-	m := len(lists)
+// node is a partial path covering stages 0..level, stored in the arena and
+// linked to its parent by arena index.
+type node struct {
+	parent int32
+	estIdx int32
+	level  int32
+	time   time.Duration
+	cost   units.Money
+}
+
+// openItem is one frontier entry: the arena index of a node with its cost
+// lower bound f (cost + admissible remaining-cost heuristic).
+type openItem struct {
+	f   units.Money
+	idx int32
+}
+
+// pushOpen and popOpen maintain the frontier as a binary min-heap on f with
+// the exact sift order of container/heap, so the expansion sequence — and
+// with it every tie-dependent search outcome — is identical to the boxed
+// *node heap this replaced.
+func (s *Searcher) pushOpen(f units.Money, idx int32) {
+	h := append(s.open, openItem{f: f, idx: idx})
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h[j].f < h[i].f) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	s.open = h
+}
+
+func (s *Searcher) popOpen() openItem {
+	h := s.open
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift the swapped-in root down over h[:n] (container/heap's down).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].f < h[j1].f {
+			j = j2
+		}
+		if !(h[j].f < h[i].f) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	s.open = h[:n]
+	return it
+}
+
+// buildPath materializes a completed path by walking parent links through
+// the arena. Only accepted completions allocate (their Ests escape into the
+// result).
+func (s *Searcher) buildPath(parent int32, last *profile.Estimate, t time.Duration, c units.Money) Path {
+	m := len(s.lists)
 	ests := make([]profile.Estimate, m)
 	ests[m-1] = *last
-	for cur := n; cur != nil && cur.level >= 0; cur = cur.parent {
-		ests[cur.level] = lists[cur.level][cur.estIdx]
+	for cur := parent; cur >= 0; cur = s.arena[cur].parent {
+		n := &s.arena[cur]
+		if n.level < 0 {
+			break
+		}
+		ests[n.level] = s.lists[n.level][n.estIdx]
 	}
 	return Path{Ests: ests, Time: t, Cost: c}
 }
@@ -353,20 +492,21 @@ func (p *pathHeap) add(path Path) {
 
 func (p *pathHeap) sorted() []Path { return p.paths }
 
-// nodeHeap is the A* frontier (min-heap on f).
-type nodeHeap []*node
+// reset prepares the heap for reuse with a new K, keeping its storage.
+func (p *pathHeap) reset(k int) {
+	p.k = k
+	p.paths = p.paths[:0]
+}
 
-func (h nodeHeap) Len() int           { return len(h) }
-func (h nodeHeap) Less(i, j int) bool { return h[i].f < h[j].f }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return v
+// take returns a copy of the kept paths (nil when empty), detaching them
+// from the reusable storage.
+func (p *pathHeap) take() []Path {
+	if len(p.paths) == 0 {
+		return nil
+	}
+	out := make([]Path, len(p.paths))
+	copy(out, p.paths)
+	return out
 }
 
 // BruteForceSearch exhaustively enumerates every configuration path and

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/esg-sched/esg/internal/baselines/aquatope"
 	"github.com/esg-sched/esg/internal/controller"
 	"github.com/esg-sched/esg/internal/metrics"
 	"github.com/esg-sched/esg/internal/profile"
@@ -28,6 +29,13 @@ type Cell struct {
 	// Level and SLO select the workload setting.
 	Level workload.Level
 	SLO   workflow.SLOLevel
+
+	// Trace, when non-nil, overrides the level-derived request trace (the
+	// scale scenarios compress arrival intervals beyond any Level).
+	Trace *workload.Trace
+	// Tune, when non-nil, adjusts the assembled controller configuration
+	// before the run (custom clusters, application sets, timeouts).
+	Tune func(*controller.Config)
 }
 
 // cellState tracks one key's run: a done channel for waiters plus the
@@ -72,6 +80,13 @@ type Runner struct {
 	mu     sync.Mutex
 	states map[string]*cellState
 	logMu  sync.Mutex
+
+	// aquatopeMemo shares Aquatope's scale-independent offline BO
+	// training across the runner's cells (the trained configurations
+	// depend on the apps and profiles, never on the workload setting), so
+	// a grid pays the ~seconds-long training once per application instead
+	// of once per cell.
+	aquatopeMemo *aquatope.TrainingMemo
 }
 
 // NewRunner returns a Runner with the paper's defaults.
@@ -80,12 +95,18 @@ func NewRunner(seed uint64, scale float64) *Runner {
 		scale = 1
 	}
 	return &Runner{
-		Seed:     seed,
-		Scale:    scale,
-		Noise:    profile.DefaultNoise(),
-		Overhead: sched.OverheadMeasured,
-		states:   make(map[string]*cellState),
+		Seed:         seed,
+		Scale:        scale,
+		Noise:        profile.DefaultNoise(),
+		Overhead:     sched.OverheadMeasured,
+		states:       make(map[string]*cellState),
+		aquatopeMemo: aquatope.NewTrainingMemo(),
 	}
+}
+
+// AquatopeMemoStats returns the shared BO-training memo's counters.
+func (r *Runner) AquatopeMemoStats() sched.TrainingMemoStats {
+	return r.aquatopeMemo.Stats()
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -137,8 +158,14 @@ func (r *Runner) config(level workload.Level, slo workflow.SLOLevel) controller.
 // the (scheduler, setting) grid of Figs. 6–8/10/12 and Table 4.
 func (r *Runner) ComparisonCell(name string, level workload.Level, slo workflow.SLOLevel) Cell {
 	return Cell{
-		Key:   fmt.Sprintf("%s/%s/%s", name, level, slo),
-		Make:  func() (sched.Scheduler, error) { return NewScheduler(name, r.Seed) },
+		Key: fmt.Sprintf("%s/%s/%s", name, level, slo),
+		Make: func() (sched.Scheduler, error) {
+			s, err := NewScheduler(name, r.Seed)
+			if aq, ok := s.(*aquatope.Scheduler); ok {
+				aq.Memo = r.aquatopeMemo
+			}
+			return s, err
+		},
 		Level: level,
 		SLO:   slo,
 	}
@@ -224,7 +251,15 @@ func (r *Runner) runCell(c Cell) (*metrics.Result, error) {
 	}
 	r.logf("running %s ...", c.Key)
 	start := time.Now()
-	res, err := controller.Run(r.config(c.Level, c.SLO), s, r.Trace(c.Level))
+	cfg := r.config(c.Level, c.SLO)
+	if c.Tune != nil {
+		c.Tune(&cfg)
+	}
+	tr := c.Trace
+	if tr == nil {
+		tr = r.Trace(c.Level)
+	}
+	res, err := controller.Run(cfg, s, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -149,6 +149,32 @@ func filterBatch(ests []Estimate, maxBatch int) []Estimate {
 	return out
 }
 
+// QuantizeBatchBound maps a queue-length bound to the largest batch option
+// of this table that is <= bound — the canonical representative of every
+// bound admitting the same configuration subset. Bounds at or beyond the
+// largest option (and non-positive bounds) map to 0 ("unbounded"): the
+// filtered list is identical for all of them. Plan memoizers key on this
+// instead of the raw queue length.
+func (ft *FunctionTable) QuantizeBatchBound(bound int) int {
+	if bound <= 0 {
+		return 0
+	}
+	best, max := 0, 0
+	for _, e := range ft.ByLatency {
+		b := e.Config.Batch
+		if b > max {
+			max = b
+		}
+		if b <= bound && b > best {
+			best = b
+		}
+	}
+	if bound >= max {
+		return 0
+	}
+	return best
+}
+
 // MinTimeWithin returns the fastest time among configs with batch <=
 // maxBatch, with maxBatch <= 0 meaning unrestricted.
 func (ft *FunctionTable) MinTimeWithin(maxBatch int) time.Duration {

@@ -29,8 +29,9 @@ type Instance struct {
 	// measurement warm-up window).
 	Warmup bool
 
-	stageDone    []bool
-	stageInvoker []int
+	// stageInvoker holds the invoker that ran each stage, -1 while
+	// pending; it doubles as the per-stage completion flag.
+	stageInvoker []int32
 	remaining    int
 
 	// Done and CompletedAt are set when the last stage finishes.
@@ -52,8 +53,7 @@ func NewInstance(id, appIndex int, app *workflow.App, arrival, slo time.Duration
 		App:          app,
 		Arrival:      arrival,
 		SLO:          slo,
-		stageDone:    make([]bool, app.Len()),
-		stageInvoker: make([]int, app.Len()),
+		stageInvoker: make([]int32, app.Len()),
 		remaining:    app.Len(),
 	}
 	for i := range inst.stageInvoker {
@@ -62,21 +62,21 @@ func NewInstance(id, appIndex int, app *workflow.App, arrival, slo time.Duration
 	return inst
 }
 
-// StageDone reports whether the stage has completed.
-func (in *Instance) StageDone(stage int) bool { return in.stageDone[stage] }
+// StageDone reports whether the stage has completed. A stage is done
+// exactly when an invoker has been recorded for it.
+func (in *Instance) StageDone(stage int) bool { return in.stageInvoker[stage] >= 0 }
 
 // StageInvoker returns the invoker that ran the stage, or -1.
-func (in *Instance) StageInvoker(stage int) int { return in.stageInvoker[stage] }
+func (in *Instance) StageInvoker(stage int) int { return int(in.stageInvoker[stage]) }
 
 // CompleteStage marks a stage finished at time now on the given invoker and
 // returns the stage's successors whose predecessors are now all complete
 // (i.e., the next jobs to enqueue).
 func (in *Instance) CompleteStage(stage, invoker int, now time.Duration) (ready []int) {
-	if in.stageDone[stage] {
+	if in.stageInvoker[stage] >= 0 {
 		panic(fmt.Sprintf("instance %d: stage %d completed twice", in.ID, stage))
 	}
-	in.stageDone[stage] = true
-	in.stageInvoker[stage] = invoker
+	in.stageInvoker[stage] = int32(invoker)
 	in.remaining--
 	if in.remaining == 0 {
 		in.Done = true
@@ -85,7 +85,7 @@ func (in *Instance) CompleteStage(stage, invoker int, now time.Duration) (ready 
 	for _, succ := range in.App.Stage(stage).Succs {
 		allDone := true
 		for _, p := range in.App.Stage(succ).Preds {
-			if !in.stageDone[p] {
+			if in.stageInvoker[p] < 0 {
 				allDone = false
 				break
 			}
@@ -134,7 +134,10 @@ type Task struct {
 
 // AFW is an application-function-wise job queue: pending jobs of one stage
 // of one application (§3.1). The same function used by two applications
-// gets two distinct AFW queues.
+// gets two distinct AFW queues. Jobs live in a head-indexed ring: taking
+// from the front advances the head instead of shifting the slice, and the
+// storage is reclaimed when the queue drains (or compacted once the dead
+// prefix dominates).
 type AFW struct {
 	// ID is the queue's index in the controller's round-robin order.
 	ID       int
@@ -142,13 +145,25 @@ type AFW struct {
 	App      *workflow.App
 	Stage    int
 	Function string
+	// Key is the precomputed home-invoker hash key of the queue (the
+	// OpenWhisk (namespace, action) analogue), so the dispatch hot path
+	// never re-formats it.
+	Key string
 
 	jobs []*Job
+	head int
 
 	// RecheckRounds counts consecutive failed dispatch attempts while the
 	// queue sits on the recheck list (§3.1: after too many rounds the
 	// queue is force-dispatched with the minimum configuration).
 	RecheckRounds int
+}
+
+// KeyFor builds the home-invoker hash key of an (application, stage) pair —
+// the single source of the key format shared by NewAFW's precomputation and
+// any fallback for hand-assembled queues.
+func KeyFor(app *workflow.App, stage int) string {
+	return fmt.Sprintf("%s/%d/%s", app.Name, stage, app.Stage(stage).Function)
 }
 
 // NewAFW creates an empty AFW queue.
@@ -159,6 +174,7 @@ func NewAFW(id, appIndex int, app *workflow.App, stage int) *AFW {
 		App:      app,
 		Stage:    stage,
 		Function: app.Stage(stage).Function,
+		Key:      KeyFor(app, stage),
 	}
 }
 
@@ -171,26 +187,26 @@ func (q *AFW) Push(j *Job) {
 }
 
 // Len returns the number of pending jobs.
-func (q *AFW) Len() int { return len(q.jobs) }
+func (q *AFW) Len() int { return len(q.jobs) - q.head }
 
 // Empty reports whether the queue has no jobs.
-func (q *AFW) Empty() bool { return len(q.jobs) == 0 }
+func (q *AFW) Empty() bool { return q.Len() == 0 }
 
 // Oldest returns the head job without removing it, or nil.
 func (q *AFW) Oldest() *Job {
-	if len(q.jobs) == 0 {
+	if q.Empty() {
 		return nil
 	}
-	return q.jobs[0]
+	return q.jobs[q.head]
 }
 
 // OldestWait returns how long the head job has waited at now (0 if empty).
 // This is Algorithm 1's "w ← the longest waiting time" input.
 func (q *AFW) OldestWait(now time.Duration) time.Duration {
-	if len(q.jobs) == 0 {
+	if q.Empty() {
 		return 0
 	}
-	return q.jobs[0].Waited(now)
+	return q.jobs[q.head].Waited(now)
 }
 
 // OldestElapsed returns the largest end-to-end elapsed time among queued
@@ -198,7 +214,7 @@ func (q *AFW) OldestWait(now time.Duration) time.Duration {
 // urgent instance.
 func (q *AFW) OldestElapsed(now time.Duration) time.Duration {
 	var max time.Duration
-	for _, j := range q.jobs {
+	for _, j := range q.jobs[q.head:] {
 		if e := j.Instance.Elapsed(now); e > max {
 			max = e
 		}
@@ -206,34 +222,53 @@ func (q *AFW) OldestElapsed(now time.Duration) time.Duration {
 	return max
 }
 
-// Take removes and returns the n oldest jobs.
-func (q *AFW) Take(n int) []*Job {
-	if n > len(q.jobs) {
-		panic(fmt.Sprintf("queue %d: take %d of %d jobs", q.ID, n, len(q.jobs)))
+// Take removes and returns the n oldest jobs in a fresh slice.
+func (q *AFW) Take(n int) []*Job { return q.TakeAppend(nil, n) }
+
+// TakeAppend removes the n oldest jobs, appends them to dst and returns it.
+// Passing a recycled dst makes the dispatch loop allocation-free.
+func (q *AFW) TakeAppend(dst []*Job, n int) []*Job {
+	if n > q.Len() {
+		panic(fmt.Sprintf("queue %d: take %d of %d jobs", q.ID, n, q.Len()))
 	}
-	out := append([]*Job(nil), q.jobs[:n]...)
-	rest := q.jobs[n:]
-	copy(q.jobs, rest)
-	q.jobs = q.jobs[:len(rest)]
-	return out
+	dst = append(dst, q.jobs[q.head:q.head+n]...)
+	for i := q.head; i < q.head+n; i++ {
+		q.jobs[i] = nil // release for GC; the ring keeps the slot
+	}
+	q.head += n
+	switch {
+	case q.head == len(q.jobs):
+		q.jobs = q.jobs[:0]
+		q.head = 0
+	case q.head >= 32 && q.head*2 >= len(q.jobs):
+		// The dead prefix dominates: compact so appends stop growing the
+		// backing array past the live length.
+		live := copy(q.jobs, q.jobs[q.head:])
+		for i := live; i < len(q.jobs); i++ {
+			q.jobs[i] = nil
+		}
+		q.jobs = q.jobs[:live]
+		q.head = 0
+	}
+	return dst
 }
 
 // Peek returns the n oldest jobs without removing them.
 func (q *AFW) Peek(n int) []*Job {
-	if n > len(q.jobs) {
-		n = len(q.jobs)
+	if n > q.Len() {
+		n = q.Len()
 	}
-	return q.jobs[:n]
+	return q.jobs[q.head : q.head+n]
 }
 
 // MinSLORemaining returns the tightest remaining SLO budget among queued
 // jobs at now (the most urgent instance's SLO minus its elapsed time).
 func (q *AFW) MinSLORemaining(now time.Duration) time.Duration {
-	if len(q.jobs) == 0 {
+	if q.Empty() {
 		return 0
 	}
 	min := time.Duration(1<<63 - 1)
-	for _, j := range q.jobs {
+	for _, j := range q.jobs[q.head:] {
 		rem := j.Instance.SLO - j.Instance.Elapsed(now)
 		if rem < min {
 			min = rem
@@ -245,18 +280,20 @@ func (q *AFW) MinSLORemaining(now time.Duration) time.Duration {
 // Set builds and indexes the AFW queues of a scenario's applications.
 type Set struct {
 	Queues []*AFW
-	// index maps (appIndex, stage) -> queue.
-	index map[[2]int]*AFW
+	// byApp indexes queues as [appIndex][stage] — contiguous, so Get is
+	// two slice loads instead of a map probe on the dispatch hot path.
+	byApp [][]*AFW
 }
 
 // NewSet creates one AFW queue per (application, stage).
 func NewSet(apps []*workflow.App) *Set {
-	s := &Set{index: make(map[[2]int]*AFW)}
+	s := &Set{byApp: make([][]*AFW, len(apps))}
 	for ai, app := range apps {
+		s.byApp[ai] = make([]*AFW, app.Len())
 		for st := 0; st < app.Len(); st++ {
 			q := NewAFW(len(s.Queues), ai, app, st)
 			s.Queues = append(s.Queues, q)
-			s.index[[2]int{ai, st}] = q
+			s.byApp[ai][st] = q
 		}
 	}
 	return s
@@ -264,11 +301,10 @@ func NewSet(apps []*workflow.App) *Set {
 
 // Get returns the queue of (appIndex, stage).
 func (s *Set) Get(appIndex, stage int) *AFW {
-	q, ok := s.index[[2]int{appIndex, stage}]
-	if !ok {
+	if appIndex < 0 || appIndex >= len(s.byApp) || stage < 0 || stage >= len(s.byApp[appIndex]) {
 		panic(fmt.Sprintf("queue: no AFW queue for app %d stage %d", appIndex, stage))
 	}
-	return q
+	return s.byApp[appIndex][stage]
 }
 
 // TotalPending returns the number of queued jobs across all queues.

@@ -1,20 +1,23 @@
 package sched
 
 import (
-	"fmt"
 	"time"
 
 	"github.com/esg-sched/esg/internal/cluster"
 	"github.com/esg-sched/esg/internal/profile"
 	"github.com/esg-sched/esg/internal/queue"
-	"github.com/esg-sched/esg/internal/units"
 )
 
 // QueueKey returns the hash key identifying an AFW queue's function for
 // home-invoker selection: the (application, function) pair, mirroring
-// OpenWhisk's (namespace, action) hashing (§2).
+// OpenWhisk's (namespace, action) hashing (§2). Queues built by
+// queue.NewAFW carry the key precomputed; hand-assembled ones fall back to
+// formatting it.
 func QueueKey(q *queue.AFW) string {
-	return fmt.Sprintf("%s/%d/%s", q.App.Name, q.Stage, q.Function)
+	if q.Key != "" {
+		return q.Key
+	}
+	return queue.KeyFor(q.App, q.Stage)
 }
 
 // LocalityPlace implements ESG_Dispatch's invoker selection (§3.4):
@@ -50,10 +53,8 @@ func LocalityPlace(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config
 	if preferred != nil && preferred.CanFit(res) && preferred.HasIdleWarm(q.Function, now) {
 		return preferred
 	}
-	for _, inv := range env.Cluster.WarmInvokers(q.Function, now) {
-		if inv.CanFit(res) {
-			return inv
-		}
+	if inv := env.Cluster.FirstWarmFit(q.Function, now, res); inv != nil {
+		return inv
 	}
 	if preferred != nil && preferred.CanFit(res) {
 		return preferred
@@ -67,23 +68,8 @@ func LocalityPlace(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config
 // FragmentationPlace implements the INFless/FaST-GShare node selection
 // (§4.2): best-fit on GPU capacity to minimize resource fragmentation,
 // ignoring data locality. Ties break toward less free CPU, then lower ID.
+// The selection runs on the cluster's free-capacity index instead of a
+// fleet scan.
 func FragmentationPlace(env *Env, cfg profile.Config) *cluster.Invoker {
-	res := cfg.Resources()
-	var best *cluster.Invoker
-	var bestLeft units.VGPU
-	var bestCPULeft units.VCPU
-	for _, inv := range env.Cluster.Invokers {
-		if !inv.CanFit(res) {
-			continue
-		}
-		free := inv.Free()
-		left := free.GPU - cfg.GPU
-		cpuLeft := free.CPU - cfg.CPU
-		if best == nil || left < bestLeft || (left == bestLeft && cpuLeft < bestCPULeft) {
-			best = inv
-			bestLeft = left
-			bestCPULeft = cpuLeft
-		}
-	}
-	return best
+	return env.Cluster.BestFit(cfg.Resources())
 }

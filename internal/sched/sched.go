@@ -115,6 +115,17 @@ type PlanCaching interface {
 	PlanCacheStats() PlanCacheStats
 }
 
+// TrainingMemoStats are the aggregate counters of a shared offline-
+// training memo (Aquatope's BO training cache): misses count distinct
+// training keys computed, hits the lookups they saved. Only the aggregate
+// is surfaced — which run records a shared key's miss is execution-order-
+// dependent under a parallel runner, so per-run counters would break the
+// parallel==sequential byte-identity of exported results.
+type TrainingMemoStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
 // MeanServiceSplit distributes an end-to-end SLO over an app's stages
 // proportionally to the stages' average (minimum-configuration) service
 // times — the GrandSLAm-style distribution the paper applies to INFless and

@@ -1,0 +1,72 @@
+package simulate
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEngineDispatchAllocFree is the allocation-regression gate for the
+// event hot path: scheduling and executing an event on a warm engine must
+// not allocate at all. The seed implementation boxed one *event per At
+// through container/heap; the value heap stores events in place.
+func TestEngineDispatchAllocFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	e.At(0, fn)
+	e.Step() // warm the heap storage
+	var i time.Duration
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		e.At(i, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("At+Step allocates %.0f times per event, want 0", allocs)
+	}
+}
+
+// TestEngineChurnAllocFree extends the gate to a standing queue (the
+// steady state of a busy emulation: events pop while others wait).
+func TestEngineChurnAllocFree(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.At(time.Duration(i), fn)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.At(e.Now()+256, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("churn At+Step allocates %.0f times per event, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineDispatch measures one schedule+execute round trip on an
+// otherwise empty engine (the number BENCH_2.json records).
+func BenchmarkEngineDispatch(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(time.Duration(i), fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineChurn64 measures the round trip against a standing queue
+// of 64 events.
+func BenchmarkEngineChurn64(b *testing.B) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.At(time.Duration(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+64, fn)
+		e.Step()
+	}
+}

@@ -5,15 +5,17 @@
 package simulate
 
 import (
-	"container/heap"
 	"time"
 )
 
-// Engine is a single-threaded discrete-event simulator.
+// Engine is a single-threaded discrete-event simulator. Events are stored
+// by value in a manually-sifted binary heap: scheduling an event never
+// boxes it through an interface, so the steady-state dispatch path
+// (At/After + Step) is allocation-free apart from the caller's closure.
 type Engine struct {
 	now   time.Duration
 	seq   uint64
-	queue eventHeap
+	queue []event
 	// Processed counts executed events (diagnostics).
 	Processed uint64
 }
@@ -31,7 +33,7 @@ func (e *Engine) At(t time.Duration, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -44,10 +46,10 @@ func (e *Engine) After(d time.Duration, fn func()) {
 
 // Step executes the next event; it reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.Processed++
 	ev.fn()
@@ -63,7 +65,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= deadline, leaving later events
 // queued, and advances the clock to the deadline.
 func (e *Engine) RunUntil(deadline time.Duration) {
-	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -72,7 +74,7 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 type event struct {
 	at  time.Duration
@@ -80,22 +82,55 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the heap order: simulated time, then scheduling sequence. The
+// order is total, so the pop sequence is independent of the heap's internal
+// sift details.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// push appends ev and sifts it up.
+func (e *Engine) push(ev event) {
+	h := append(e.queue, ev)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h[j].before(&h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	e.queue = h
+}
+
+// pop removes and returns the earliest event, clearing the vacated slot so
+// the heap never retains a completed event's closure.
+func (e *Engine) pop() event {
+	h := e.queue
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].before(&h[j1]) {
+			j = j2
+		}
+		if !h[j].before(&h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	ev := h[n]
+	h[n].fn = nil
+	e.queue = h[:n]
 	return ev
 }

@@ -56,6 +56,33 @@ func EvaluationApps() []*App {
 	}
 }
 
+// Additional application names used by the production-scale stress
+// scenarios (not part of the paper's evaluation).
+const (
+	SceneUnderstanding = "scene-understanding"
+	PortraitPipeline   = "portrait-pipeline"
+	MappingPipeline    = "mapping-pipeline"
+	FullVisionSuite    = "full-vision-suite"
+)
+
+// ScaleApps returns eight concurrent applications for the scale scenarios:
+// the paper's four evaluation workflows plus four further chains assembled
+// from the same Table-3 functions, stressing every profile with several
+// distinct SLO distributions at once.
+func ScaleApps() []*App {
+	return append(EvaluationApps(),
+		Chain(SceneUnderstanding,
+			profile.Segmentation, profile.DepthRecognition, profile.Classification),
+		Chain(PortraitPipeline,
+			profile.Deblur, profile.BackgroundRemoval, profile.Classification),
+		Chain(MappingPipeline,
+			profile.SuperResolution, profile.DepthRecognition, profile.Segmentation),
+		Chain(FullVisionSuite,
+			profile.SuperResolution, profile.Segmentation, profile.BackgroundRemoval,
+			profile.DepthRecognition, profile.Classification),
+	)
+}
+
 // SLOLevel is the tightness of the latency objective relative to the
 // baseline latency L (§4.1).
 type SLOLevel int

@@ -72,14 +72,23 @@ type Trace struct {
 // Generate builds a trace of n requests over apps applications at the given
 // level, deterministically from src.
 func Generate(level Level, n, apps int, src *rng.Source) *Trace {
-	if n < 0 || apps < 1 {
+	return GenerateCompressed(level, 1, n, apps, src)
+}
+
+// GenerateCompressed builds a trace with the level's arrival pattern sped
+// up by the given factor: every interval is divided by speedup, multiplying
+// the arrival rate while preserving the relative arrival structure (and the
+// random draws) of the uncompressed trace. speedup 1 reproduces Generate;
+// e.g. 100 yields 100× the paper's load for scale stress scenarios.
+func GenerateCompressed(level Level, speedup float64, n, apps int, src *rng.Source) *Trace {
+	if n < 0 || apps < 1 || speedup <= 0 {
 		panic("workload: invalid trace shape")
 	}
 	lo, hi := level.IntervalRange()
 	tr := &Trace{Level: level, Requests: make([]Request, 0, n)}
 	var now time.Duration
 	for i := 0; i < n; i++ {
-		iv := time.Duration(src.UniformIn(float64(lo), float64(hi)))
+		iv := time.Duration(src.UniformIn(float64(lo), float64(hi)) / speedup)
 		now += iv
 		tr.Requests = append(tr.Requests, Request{
 			ID: i, App: src.IntN(apps), At: now, Interval: iv,
