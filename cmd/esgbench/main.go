@@ -25,6 +25,9 @@
 //	-nodes N      scale scenario: invoker count (default 256)
 //	-load F       scale scenario: arrival-rate multiplier (default 100)
 //	-requests N   scale scenario: trace length (default 30000 × -scale)
+//	-replan F     scale scenario: re-plan pressure multiplier — divides the
+//	              2 ms scheduling quantum so queues are re-planned F× as
+//	              often (default 1)
 package main
 
 import (
@@ -51,6 +54,7 @@ func main() {
 		nodes     = flag.Int("nodes", 0, "scale scenario: invoker count (default 256)")
 		load      = flag.Float64("load", 0, "scale scenario: arrival-rate multiplier over heavy (default 100)")
 		requests  = flag.Int("requests", 0, "scale scenario: trace length (default 30000 × -scale)")
+		replan    = flag.Float64("replan", 0, "scale scenario: re-plan pressure multiplier — divides the 2 ms scheduling quantum (default 1)")
 	)
 	flag.Parse()
 
@@ -86,7 +90,7 @@ func main() {
 	r.PlanCache = *plancache
 	// Zero fields select ScaleScenario's defaults (256 nodes, 100×,
 	// 30000 × -scale requests, the adaptive schedulers).
-	scaleSpec = experiments.ScaleSpec{Nodes: *nodes, LoadFactor: *load, Requests: *requests}
+	scaleSpec = experiments.ScaleSpec{Nodes: *nodes, LoadFactor: *load, Requests: *requests, Replan: *replan}
 	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = nil

@@ -25,6 +25,10 @@ import (
 	"github.com/esg-sched/esg/internal/workload"
 )
 
+// DefaultQuantum is the controller's default scheduling-pass cadence
+// (§3.1's round-robin scan runs at most every quantum).
+const DefaultQuantum = 2 * time.Millisecond
+
 // Config shapes one emulation run.
 type Config struct {
 	// Cluster is the invoker fleet shape (defaults to the paper's
@@ -116,7 +120,7 @@ func (c Config) Defaulted() Config {
 		c.Apps = workflow.EvaluationApps()
 	}
 	if c.Quantum <= 0 {
-		c.Quantum = 2 * time.Millisecond
+		c.Quantum = DefaultQuantum
 	}
 	if c.RecheckLimit <= 0 {
 		c.RecheckLimit = 3
@@ -290,7 +294,14 @@ func (c *Controller) Execute() *metrics.Result {
 	}
 	if pc, ok := c.scheduler.(sched.PlanCaching); ok {
 		st := pc.PlanCacheStats()
-		c.collector.RecordCacheStats(st.Hits, st.Misses, st.Evictions, st.Invalidations)
+		c.collector.RecordCacheStats(metrics.PlanCacheCounters{
+			Hits:          st.Hits,
+			IntervalHits:  st.IntervalHits,
+			Resumes:       st.Resumes,
+			Misses:        st.Misses,
+			Evictions:     st.Evictions,
+			Invalidations: st.Invalidations,
+		})
 	}
 	return c.collector.Finalize(cold, warm, unfinished, utilCPU, utilGPU, c.engine.Now())
 }

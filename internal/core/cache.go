@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"fmt"
 	"strconv"
 	"sync"
 	"time"
@@ -15,20 +16,51 @@ import (
 // it is reused for.
 const (
 	// DefaultCacheSize bounds the number of memoized searches kept.
-	DefaultCacheSize = 512
+	// Entries are small (up to K paths of a few estimates each), and the
+	// working set of a production-scale run — stage groups × quantized
+	// queue depths × target buckets, including the aliases interval hits
+	// materialize — runs into the thousands; at 512 the LRU churned hot
+	// entries and re-searched them (measured on the scale scenario:
+	// 4096 nearly halves the cold-search count).
+	DefaultCacheSize = 4096
 	// DefaultCacheGranularity is the GSLO bucket width. The controller's
 	// scheduling quantum is 2 ms, so targets recur at millisecond scale;
 	// 5 ms buckets absorb the jitter of the queue head's elapsed time
 	// while staying well inside the 0.9 planning margin.
 	DefaultCacheGranularity = 5 * time.Millisecond
+
+	// maxIntervalPerKey bounds the interval-indexed entries per stage
+	// group: under a steadily tightening target the newest entries answer
+	// everything, so a short list suffices.
+	maxIntervalPerKey = 8
+	// maxResumeSlots bounds the retained search states (each pins an
+	// arena and frontier, see RetainedSearch). The hot stage groups of a
+	// run number in the tens.
+	maxResumeSlots = 32
 )
 
-// CacheStats are the observability counters of a PlanCache.
+// CacheStats are the observability counters of a PlanCache. A lookup
+// resolves as exactly one of Hits, IntervalHits, Resumes or Misses, from
+// cheapest to most expensive.
 type CacheStats struct {
-	Hits          uint64
+	// Hits are exact-key lookups (same stage group, same quantized queue
+	// depth and target bucket).
+	Hits uint64
+	// IntervalHits are lookups answered by a neighboring bucket's entry
+	// through its GSLO feasibility interval (see Search).
+	IntervalHits uint64
+	// Resumes are lookups answered by re-pruning and continuing a
+	// retained search instead of re-expanding from the virtual root.
+	Resumes uint64
+	// Misses are cold searches from the virtual root.
 	Misses        uint64
 	Evictions     uint64
 	Invalidations uint64
+}
+
+// Lookups returns the total number of Search calls observed.
+func (s CacheStats) Lookups() uint64 {
+	return s.Hits + s.IntervalHits + s.Resumes + s.Misses
 }
 
 // cacheKey identifies one memoized ESG_1Q search: the stage-group signature
@@ -41,6 +73,17 @@ type cacheKey struct {
 	k        int
 	hop      time.Duration
 	maxExp   int // expansion cap: a truncated search is not a full one
+}
+
+// intervalKey is a cacheKey minus the target bucket: everything that must
+// match for two searches to differ only in GSLO. The feasibility-interval
+// index and the retained-search slots are keyed on it.
+type intervalKey struct {
+	sig      string
+	maxBatch int
+	k        int
+	hop      time.Duration
+	maxExp   int
 }
 
 // PlanCache memoizes ESG_1Q searches. Repeated searches over the same
@@ -60,15 +103,45 @@ type cacheKey struct {
 //     the floored target is feasible under the real one, so a cached plan
 //     never overshoots the SLO it is reused for.
 //
+// On top of the exact keys, every entry carries a GSLO feasibility
+// interval so adjacent buckets hit instead of re-searching: a feasible
+// search at bucket g whose slowest kept path takes t_max answers every
+// quantized target in [t_max, g] (the K cheapest paths cannot change while
+// they all stay feasible), and an infeasible search at g answers every
+// tighter target (the drain fallback is GSLO-independent). Targets below
+// t_max resume the retained search — re-pruning the previous completions
+// and continuing from the retained frontier — rather than starting from
+// the virtual root (see Searcher.Resume). Under the controller's 2 ms
+// re-planning cadence group targets tighten monotonically as the queue
+// head ages, which is exactly the pattern these two layers absorb.
+//
 // Entries are kept in an LRU list bounded by Capacity. All methods are
 // safe for concurrent use.
+//
+// Read-only contract: the returned SearchResult — the Paths slice and
+// every Path.Ests in it — is shared between the cache, its retained search
+// states and every past and future caller of the same key. Callers must
+// not modify it. Both slice levels are capacity-frozen, so an append
+// always copies; writing elements in place corrupts other callers' plans.
+// CheckMutations/Integrity exist to catch exactly that in tests.
 type PlanCache struct {
 	mu          sync.Mutex
 	capacity    int
 	granularity time.Duration
 	entries     map[cacheKey]*list.Element
 	order       *list.List // front = most recently used
+	intervals   map[intervalKey][]*list.Element
 	stats       CacheStats
+	checkMut    bool
+
+	// searchMu serializes the retained-search machinery: the dedicated
+	// searcher and the resume slots. Concurrent callers that would block
+	// here run an independent pooled search instead (losing retention for
+	// that one search, never correctness).
+	searchMu sync.Mutex
+	searcher *Searcher
+	resumes  map[intervalKey]*resumeSlot
+	seq      uint64
 
 	// oracleIDs names each profile-table generation ever seen by this
 	// cache, so schedulers sharing the cache across different oracles
@@ -82,6 +155,30 @@ type PlanCache struct {
 type cacheEntry struct {
 	key cacheKey
 	res SearchResult
+	// computedAt is the quantized target the result was searched at and
+	// tmax the slowest kept path of a feasible result; together they span
+	// the entry's feasibility interval.
+	computedAt time.Duration
+	tmax       time.Duration
+	ikey       intervalKey
+	indexed    bool
+	// snapshot is a deep copy of res.Paths taken at insertion when
+	// CheckMutations is armed; Integrity compares against it.
+	snapshot []Path
+}
+
+// covers reports whether the entry's result answers a search at the
+// quantized target q.
+func (e *cacheEntry) covers(q time.Duration) bool {
+	if q > e.computedAt {
+		return false
+	}
+	return !e.res.Feasible || e.tmax <= q
+}
+
+type resumeSlot struct {
+	st      *RetainedSearch
+	lastUse uint64
 }
 
 // NewPlanCache returns a cache bounded to capacity entries with the given
@@ -98,6 +195,9 @@ func NewPlanCache(capacity int, granularity time.Duration) *PlanCache {
 		granularity: granularity,
 		entries:     make(map[cacheKey]*list.Element, capacity),
 		order:       list.New(),
+		intervals:   make(map[intervalKey][]*list.Element),
+		searcher:    NewSearcher(),
+		resumes:     make(map[intervalKey]*resumeSlot),
 		oracleIDs:   make(map[*profile.Oracle]uint64),
 	}
 }
@@ -133,17 +233,53 @@ func (c *PlanCache) Stats() CacheStats {
 	return c.stats
 }
 
-// Invalidate drops every cached plan. Callers must invoke it whenever the
-// profile tables or admissibility filters behind a signature change, since
-// cached paths embed estimates from the old tables.
-func (c *PlanCache) Invalidate() {
+// CheckMutations arms mutation detection: every result inserted from now
+// on is deep-copied, and Integrity compares the live cached plans against
+// the copies. This is the enforcement half of the read-only contract on
+// cached plans (see the type comment); tests arm it, production pays
+// nothing.
+func (c *PlanCache) CheckMutations() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.checkMut = true
+}
+
+// Integrity returns an error naming the first cached plan whose live
+// storage differs from its insertion-time snapshot — proof that a caller
+// wrote through a shared read-only result. It only sees entries inserted
+// after CheckMutations.
+func (c *PlanCache) Integrity() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		if ent.snapshot == nil {
+			continue
+		}
+		if !pathsEqual(ent.res.Paths, ent.snapshot) {
+			return fmt.Errorf("core: cached plan for %q (gslo %v) was mutated by a caller; plans returned by PlanCache.Search are read-only",
+				ent.key.sig, time.Duration(ent.key.gslo))
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every cached plan and retained search. Callers must
+// invoke it whenever the profile tables or admissibility filters behind a
+// signature change, since cached paths embed estimates from the old tables.
+func (c *PlanCache) Invalidate() {
+	c.mu.Lock()
 	c.entries = make(map[cacheKey]*list.Element, c.capacity)
 	c.order.Init()
+	c.intervals = make(map[intervalKey][]*list.Element)
 	c.oracleIDs = make(map[*profile.Oracle]uint64)
 	c.idEpoch++
 	c.stats.Invalidations++
+	c.mu.Unlock()
+
+	c.searchMu.Lock()
+	c.resumes = make(map[intervalKey]*resumeSlot)
+	c.searchMu.Unlock()
 }
 
 // QuantizeGSLO floors d to the cache's bucket width (at least one bucket,
@@ -178,7 +314,13 @@ func quantizeFirstBatch(in SearchInput, depth int) int {
 // shapes the result but is not part of the key's scalar fields: the stage
 // sequence (function names), the profile-table generation and the
 // admissibility filter. Results are shared — callers must treat the
-// returned paths as read-only.
+// returned paths as read-only (see the type comment).
+//
+// Resolution order: exact quantized key, then the feasibility-interval
+// index (an adjacent bucket whose result provably answers this target),
+// then a Resume of the retained search for the stage group, then a cold
+// search. All four return the same paths a fresh search at the quantized
+// target would.
 func (c *PlanCache) Search(in SearchInput, sig string) SearchResult {
 	in.GSLO = c.QuantizeGSLO(in.GSLO)
 	in.MaxFirstBatch = quantizeFirstBatch(in, in.MaxFirstBatch)
@@ -190,6 +332,7 @@ func (c *PlanCache) Search(in SearchInput, sig string) SearchResult {
 		hop:      in.Hop,
 		maxExp:   in.MaxExpansions,
 	}
+	ikey := intervalKey{sig: sig, maxBatch: in.MaxFirstBatch, k: in.K, hop: in.Hop, maxExp: in.MaxExpansions}
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -199,30 +342,210 @@ func (c *PlanCache) Search(in SearchInput, sig string) SearchResult {
 		c.mu.Unlock()
 		return res
 	}
-	c.stats.Misses++
+	for _, el := range c.intervals[ikey] {
+		ent := el.Value.(*cacheEntry)
+		if !ent.covers(in.GSLO) {
+			continue
+		}
+		c.order.MoveToFront(el)
+		c.stats.IntervalHits++
+		res := ent.res
+		// Materialize an exact alias so the next lookup in this bucket
+		// is a plain hit. Aliases stay out of the interval index — the
+		// covering entry already spans their interval.
+		c.insertLocked(key, ikey, res, ent.computedAt, ent.tmax, false)
+		c.mu.Unlock()
+		return res
+	}
 	c.mu.Unlock()
 
-	// Run the search outside the lock so concurrent users of the cache
-	// never serialize on each other's searches; a racing duplicate insert
-	// is benign (identical inputs give identical results).
-	res := Search(in)
-	// The frontier is shared between the cached copy and every future
-	// hit: freeze the path slice so callers appending to it cannot alias.
-	res.Paths = res.Paths[:len(res.Paths):len(res.Paths)]
+	// Run the search outside the cache lock so concurrent users of the
+	// cache never serialize on each other's searches; a racing duplicate
+	// insert is benign (identical inputs give identical results).
+	res, computedAt, resumed := c.searchCold(in, ikey)
+	res = freezeResult(res)
 
 	c.mu.Lock()
+	if resumed {
+		c.stats.Resumes++
+	} else {
+		c.stats.Misses++
+	}
 	if _, ok := c.entries[key]; !ok {
-		el := c.order.PushFront(&cacheEntry{key: key, res: res})
-		c.entries[key] = el
-		for c.order.Len() > c.capacity {
-			oldest := c.order.Back()
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
-			c.stats.Evictions++
+		tmax := time.Duration(0)
+		if res.Feasible {
+			for _, p := range res.Paths {
+				if p.Time > tmax {
+					tmax = p.Time
+				}
+			}
 		}
+		// A budget-capped (truncated) search is cached for its exact key
+		// — repeats of the same capped input are identical — but kept out
+		// of the interval index: its partial result answers no other
+		// bucket (mirroring SearchRetain's refusal to retain truncated
+		// searches for the resume layer).
+		maxExp := in.MaxExpansions
+		if maxExp <= 0 {
+			maxExp = defaultMaxExpansions
+		}
+		c.insertLocked(key, ikey, res, computedAt, tmax, res.Expanded <= maxExp)
 	}
 	c.mu.Unlock()
 	return res
+}
+
+// searchCold answers a lookup that missed both cache layers: by resuming
+// the stage group's retained search when only GSLO tightened, or by a
+// retained cold search. computedAt is the target the result was actually
+// searched at (a Resume may answer from a looser bucket, see
+// Searcher.Resume).
+func (c *PlanCache) searchCold(in SearchInput, ikey intervalKey) (res SearchResult, computedAt time.Duration, resumed bool) {
+	if !c.searchMu.TryLock() {
+		// Contended: run an independent pooled search rather than
+		// serializing concurrent planners on the retained state.
+		return Search(in), in.GSLO, false
+	}
+	defer c.searchMu.Unlock()
+	c.seq++
+	var recycle *RetainedSearch
+	if slot, ok := c.resumes[ikey]; ok {
+		res, at, ok2 := c.searcher.Resume(slot.st, in.GSLO)
+		if slot.st.Dead() {
+			// The state can no longer answer; its buffers still can.
+			delete(c.resumes, ikey)
+			recycle = slot.st
+			if ok2 {
+				return res, at, true
+			}
+		} else if ok2 {
+			slot.lastUse = c.seq
+			return res, at, true
+		} else {
+			// Looser target than the retained one: the cold search below
+			// replaces the state, reusing its storage.
+			recycle = slot.st
+		}
+	}
+	res, st := c.searcher.SearchRetain(in, recycle)
+	if st != nil {
+		c.storeResume(ikey, st)
+	}
+	return res, in.GSLO, false
+}
+
+// storeResume records the retained state of a stage group's latest cold
+// search, evicting the least-recently-used slot when full.
+func (c *PlanCache) storeResume(ikey intervalKey, st *RetainedSearch) {
+	if slot, ok := c.resumes[ikey]; ok {
+		slot.st, slot.lastUse = st, c.seq
+		return
+	}
+	if len(c.resumes) >= maxResumeSlots {
+		var victim intervalKey
+		first := true
+		var oldest uint64
+		for k, s := range c.resumes {
+			if first || s.lastUse < oldest {
+				first, oldest, victim = false, s.lastUse, k
+			}
+		}
+		delete(c.resumes, victim)
+	}
+	c.resumes[ikey] = &resumeSlot{st: st, lastUse: c.seq}
+}
+
+// insertLocked adds an entry to the LRU (and, for index=true, to the
+// feasibility-interval index), evicting from the back over capacity. The
+// caller holds c.mu and guarantees key is absent.
+func (c *PlanCache) insertLocked(key cacheKey, ikey intervalKey, res SearchResult, computedAt, tmax time.Duration, index bool) {
+	ent := &cacheEntry{key: key, res: res, computedAt: computedAt, tmax: tmax, ikey: ikey}
+	if c.checkMut {
+		ent.snapshot = deepCopyPaths(res.Paths)
+	}
+	el := c.order.PushFront(ent)
+	c.entries[key] = el
+	if index {
+		lst := c.intervals[ikey]
+		if len(lst) >= maxIntervalPerKey {
+			lst[0].Value.(*cacheEntry).indexed = false
+			lst = append(lst[:0], lst[1:]...)
+		}
+		ent.indexed = true
+		c.intervals[ikey] = append(lst, el)
+	}
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		oent := oldest.Value.(*cacheEntry)
+		delete(c.entries, oent.key)
+		if oent.indexed {
+			c.unindexLocked(oent, oldest)
+		}
+		c.stats.Evictions++
+	}
+}
+
+// unindexLocked removes an evicted entry from the feasibility-interval
+// index.
+func (c *PlanCache) unindexLocked(ent *cacheEntry, el *list.Element) {
+	lst := c.intervals[ent.ikey]
+	for i, e := range lst {
+		if e == el {
+			lst = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(c.intervals, ent.ikey)
+	} else {
+		c.intervals[ent.ikey] = lst
+	}
+	ent.indexed = false
+}
+
+// freezeResult caps both slice levels of the result so a caller's append
+// can never write into the shared storage (appends copy instead). Element
+// writes remain physically possible — that is what CheckMutations detects.
+func freezeResult(res SearchResult) SearchResult {
+	res.Paths = res.Paths[:len(res.Paths):len(res.Paths)]
+	for i := range res.Paths {
+		p := &res.Paths[i]
+		p.Ests = p.Ests[:len(p.Ests):len(p.Ests)]
+	}
+	return res
+}
+
+// deepCopyPaths clones paths including their Ests storage.
+func deepCopyPaths(paths []Path) []Path {
+	out := make([]Path, len(paths))
+	for i, p := range paths {
+		out[i] = Path{
+			Ests: append([]profile.Estimate(nil), p.Ests...),
+			Time: p.Time,
+			Cost: p.Cost,
+		}
+	}
+	return out
+}
+
+// pathsEqual compares two path sets element-wise (Estimate is a comparable
+// struct, so == is deep here).
+func pathsEqual(a, b []Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || a[i].Cost != b[i].Cost || len(a[i].Ests) != len(b[i].Ests) {
+			return false
+		}
+		for j := range a[i].Ests {
+			if a[i].Ests[j] != b[i].Ests[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // GroupSignature builds the signature of one stage-group search: the table

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"reflect"
 	"sync"
 	"testing"
@@ -129,13 +130,14 @@ func TestPlanCacheInvalidate(t *testing.T) {
 }
 
 func TestPlanCacheLRUEviction(t *testing.T) {
+	// Distinct signatures per entry keep the feasibility-interval and
+	// resume layers out of the way: this test is about LRU mechanics.
 	o := smallOracle()
 	c := NewPlanCache(3, time.Millisecond)
-	in := func(i int) SearchInput {
-		return cacheInput(o, 500*time.Millisecond+time.Duration(i)*10*time.Millisecond)
-	}
+	in := cacheInput(o, 526*time.Millisecond)
+	sig := func(i int) string { return fmt.Sprintf("sig%d", i) }
 	for i := 0; i < 5; i++ {
-		c.Search(in(i), "sig")
+		c.Search(in, sig(i))
 	}
 	if c.Len() != 3 {
 		t.Fatalf("capacity 3 cache holds %d entries", c.Len())
@@ -146,17 +148,22 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 
 	// 0 and 1 were evicted; 2, 3, 4 remain. Touch 2 (making 3 the LRU),
 	// then insert a new key: 3 must be the victim.
-	c.Search(in(2), "sig")
-	c.Search(in(5), "sig")
-	c.Search(in(4), "sig")
-	c.Search(in(2), "sig")
+	c.Search(in, sig(2))
+	c.Search(in, sig(5))
+	c.Search(in, sig(4))
+	c.Search(in, sig(2))
 	st := c.Stats()
 	if wantHits := uint64(3); st.Hits != wantHits {
 		t.Errorf("hits = %d, want %d (LRU order violated)", st.Hits, wantHits)
 	}
-	c.Search(in(3), "sig")
-	if st := c.Stats(); st.Misses != 7 {
-		t.Errorf("misses = %d, want 7 (evicted victim should have missed)", st.Misses)
+	// The evicted victim is gone from the LRU, but the stage group's
+	// retained search survives in its resume slot: the lookup must not be
+	// an exact hit, and must be answered by a resume instead of a cold
+	// search.
+	c.Search(in, sig(3))
+	if st := c.Stats(); st.Misses != 6 || st.Resumes != 1 {
+		t.Errorf("misses = %d resumes = %d, want 6 and 1 (evicted victim re-answered by its retained search)",
+			st.Misses, st.Resumes)
 	}
 }
 
@@ -187,6 +194,174 @@ func TestPlanCacheOverdueTargetsShareOneBucket(t *testing.T) {
 	c.Search(in, "sig")
 	if st := c.Stats(); st.Misses != 3 {
 		t.Errorf("expansion caps collided: %+v", st)
+	}
+}
+
+func maxPathTime(paths []Path) time.Duration {
+	var max time.Duration
+	for _, p := range paths {
+		if p.Time > max {
+			max = p.Time
+		}
+	}
+	return max
+}
+
+// freshAtQuantized runs an uncached search at the cache's quantized target
+// — the reference every cache answer must match byte-for-byte.
+func freshAtQuantized(c *PlanCache, in SearchInput) SearchResult {
+	in.GSLO = c.QuantizeGSLO(in.GSLO)
+	return Search(in)
+}
+
+func TestPlanCacheIntervalHit(t *testing.T) {
+	// A feasible search at bucket g whose slowest kept path takes t_max
+	// answers every quantized target in [t_max, g]: tightening the target
+	// cannot drop any of the K cheapest paths (they all still fit) nor
+	// admit a cheaper one (the feasible set only shrinks).
+	o := smallOracle()
+	c := NewPlanCache(16, 5*time.Millisecond)
+	sig := "t0|/sr/seg/cls"
+	loose := cacheInput(o, 5*time.Second)
+	first := c.Search(loose, sig)
+	if !first.Feasible {
+		t.Fatal("loose search infeasible")
+	}
+	tmax := maxPathTime(first.Paths)
+	q := c.QuantizeGSLO(tmax) + 5*time.Millisecond // smallest bucket >= tmax
+	if q >= 5*time.Second {
+		t.Fatalf("test setup: tmax %v leaves no tighter bucket", tmax)
+	}
+	second := c.Search(cacheInput(o, q), sig)
+	if st := c.Stats(); st.Misses != 1 || st.IntervalHits != 1 {
+		t.Fatalf("stats after interval-covered lookup: %+v", st)
+	}
+	if !reflect.DeepEqual(second.Paths, first.Paths) {
+		t.Errorf("interval hit differs from the covering entry")
+	}
+	fresh := freshAtQuantized(c, cacheInput(o, q))
+	if !reflect.DeepEqual(second.Paths, fresh.Paths) || second.Feasible != fresh.Feasible {
+		t.Errorf("interval hit differs from a fresh search at the quantized target")
+	}
+	// The hit materialized an exact alias: the same bucket is now a
+	// plain hit.
+	c.Search(cacheInput(o, q), sig)
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("alias not materialized: %+v", st)
+	}
+
+	// An infeasible search answers every tighter target: the drain
+	// fallback is GSLO-independent.
+	inf := c.Search(cacheInput(o, 2*time.Millisecond), sig)
+	if inf.Feasible {
+		t.Fatal("2ms target reported feasible")
+	}
+	tighter := c.Search(cacheInput(o, time.Millisecond), sig)
+	if st := c.Stats(); st.IntervalHits != 2 {
+		t.Errorf("infeasible interval did not cover a tighter target: %+v", st)
+	}
+	if !reflect.DeepEqual(inf.Paths, tighter.Paths) {
+		t.Errorf("infeasible interval hit differs from the covering entry")
+	}
+}
+
+func TestPlanCacheResumeTighterTarget(t *testing.T) {
+	// A quantized target below the covering entry's t_max cannot be an
+	// interval hit — some cached path dies — but it must resume the
+	// retained search, and the result must equal a fresh search.
+	o := smallOracle()
+	c := NewPlanCache(16, 5*time.Millisecond)
+	sig := "t0|/sr/seg/cls"
+	first := c.Search(cacheInput(o, 5*time.Second), sig)
+	if !first.Feasible {
+		t.Fatal("loose search infeasible")
+	}
+	tmax := maxPathTime(first.Paths)
+	q := c.QuantizeGSLO(tmax) - 5*time.Millisecond // strictly below tmax
+	if q <= 0 {
+		t.Fatalf("test setup: tmax %v too small", tmax)
+	}
+	got := c.Search(cacheInput(o, q), sig)
+	st := c.Stats()
+	if st.Resumes != 1 || st.Misses != 1 {
+		t.Fatalf("stats after tightened lookup: %+v (want 1 resume, 1 miss)", st)
+	}
+	fresh := freshAtQuantized(c, cacheInput(o, q))
+	if !reflect.DeepEqual(got.Paths, fresh.Paths) || got.Feasible != fresh.Feasible {
+		t.Errorf("resumed search differs from a fresh search at the quantized target")
+	}
+}
+
+func TestPlanCacheDescendingTargetsMatchFreshSearch(t *testing.T) {
+	// The controller's re-planning pattern: the same stage group searched
+	// over and over while the queue head ages and the target tightens.
+	// Every answer — exact hit, interval hit, resume, or cold — must be
+	// byte-identical to an uncached search at the quantized target.
+	o := smallOracle()
+	names := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		m := 2 + rng.Intn(2)
+		fns := make([]string, m)
+		for i := range fns {
+			fns[i] = names[rng.Intn(len(names))]
+		}
+		in := SearchInput{
+			Tables:        tablesFor(o, fns...),
+			MaxFirstBatch: rng.Intn(5),
+			K:             1 + rng.Intn(5),
+			Hop:           time.Duration(rng.Intn(3)) * time.Millisecond,
+		}
+		c := NewPlanCache(64, 5*time.Millisecond)
+		sig := fmt.Sprintf("trial%d", trial)
+		g := time.Duration(1200+rng.Intn(1800)) * time.Millisecond
+		for step := 0; g > -10*time.Millisecond; step++ {
+			in.GSLO = g
+			got := c.Search(in, sig)
+			want := freshAtQuantized(c, in)
+			if got.Feasible != want.Feasible || !reflect.DeepEqual(got.Paths, want.Paths) {
+				st := c.Stats()
+				t.Fatalf("trial %d step %d (fns=%v k=%d maxBatch=%d hop=%v gslo=%v, stats %+v): cached result differs from fresh search",
+					trial, step, fns, in.K, in.MaxFirstBatch, in.Hop, g, st)
+			}
+			g -= time.Duration(1+rng.Intn(40)) * time.Millisecond
+		}
+	}
+}
+
+func TestPlanCacheSharedPlansAreReadOnly(t *testing.T) {
+	// Cached plans are shared across every hit; both slice levels are
+	// capacity-frozen so appends copy, and CheckMutations/Integrity
+	// detect callers that assign through the shared storage.
+	o := smallOracle()
+	c := NewPlanCache(8, 5*time.Millisecond)
+	c.CheckMutations()
+	in := cacheInput(o, 526*time.Millisecond)
+	sig := "t0|/sr/seg/cls"
+
+	first := c.Search(in, sig)
+	pristine := freshAtQuantized(c, in)
+
+	// Appends must not write into the shared storage: capacities are
+	// frozen at both levels, so the append reallocates.
+	appended := append(first.Paths, Path{})
+	_ = appended
+	withEst := append(first.Paths[0].Ests, first.Paths[0].Ests[0])
+	_ = withEst
+	if err := c.Integrity(); err != nil {
+		t.Fatalf("append corrupted the cached plan: %v", err)
+	}
+	second := c.Search(in, sig)
+	if !reflect.DeepEqual(second.Paths, pristine.Paths) {
+		t.Fatalf("cached plan changed after caller appends")
+	}
+
+	// An element write goes through the shared storage — the documented
+	// contract violation Integrity exists to catch.
+	second.Paths[0].Ests[0].Time += time.Nanosecond
+	if err := c.Integrity(); err == nil {
+		t.Fatalf("element write through a shared plan went undetected")
 	}
 }
 

@@ -249,6 +249,8 @@ func (e *ESG) PlanCacheStats() sched.PlanCacheStats {
 	st := e.cache.Stats()
 	return sched.PlanCacheStats{
 		Hits:          st.Hits,
+		IntervalHits:  st.IntervalHits,
+		Resumes:       st.Resumes,
 		Misses:        st.Misses,
 		Evictions:     st.Evictions,
 		Invalidations: st.Invalidations,

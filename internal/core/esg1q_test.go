@@ -1,13 +1,13 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"github.com/esg-sched/esg/internal/pricing"
 	"github.com/esg-sched/esg/internal/profile"
-	"github.com/esg-sched/esg/internal/units"
 )
 
 func testOracle() *profile.Oracle {
@@ -209,19 +209,44 @@ func TestPathConfigs(t *testing.T) {
 	}
 }
 
-func TestTopKKeepsSmallest(t *testing.T) {
-	tk := newTopK(3)
-	for _, v := range []units.Money{50, 10, 40, 30, 20} {
-		tk.insert(v)
+func TestShardedFrontierMatchesLevelwise(t *testing.T) {
+	// Mid-search the frontier flips from one global heap to per-stage
+	// shards once the arena crosses shardThreshold (lowered here so a
+	// tractable input exercises the flip). Under pathLess's total order
+	// the kept top-K is a pure function of the candidate set, so the
+	// sharded search must agree byte for byte with both the unsharded
+	// search and the independently-written level-wise engine.
+	defer func(old int) { shardThreshold = old }(shardThreshold)
+	o := testOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Segmentation, profile.Classification)
+	gslo := time.Duration(0)
+	for _, tb := range tables {
+		gslo += tb.Fn.BaseExec
 	}
-	if !tk.full() {
-		t.Fatalf("topK not full")
+	in := SearchInput{Tables: tables, GSLO: 3 * gslo / 2, K: 5, Hop: 2 * time.Millisecond}
+
+	shardThreshold = 1 << 30 // effectively off
+	plain := NewSearcher()
+	unsharded := plain.Search(in)
+	if plain.sharded {
+		t.Fatal("unsharded reference search sharded anyway")
 	}
-	if tk.max() != 30 {
-		t.Errorf("max = %v, want 30", tk.max())
+
+	shardThreshold = 2048
+	s := NewSearcher()
+	got := s.Search(in)
+	if !s.sharded {
+		t.Fatalf("search stayed unsharded (arena %d); pick a larger input", len(s.arena))
 	}
-	if tk.vals[0] != 10 || tk.vals[1] != 20 {
-		t.Errorf("vals = %v", tk.vals)
+	if !reflect.DeepEqual(got.Paths, unsharded.Paths) || got.Feasible != unsharded.Feasible {
+		t.Errorf("sharded search disagrees with the unsharded search")
+	}
+	want := SearchLevelwise(in)
+	if got.Feasible != want.Feasible {
+		t.Fatalf("feasible %v vs levelwise %v", got.Feasible, want.Feasible)
+	}
+	if !reflect.DeepEqual(got.Paths, want.Paths) {
+		t.Errorf("sharded search disagrees with the level-wise engine")
 	}
 }
 

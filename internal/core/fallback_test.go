@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+// engines runs all three ESG_1Q implementations on one input: the
+// optimized A* search, the basic level-wise sweep, and the exhaustive
+// oracle. On over-constrained inputs they must agree, which pins the
+// shared overConstrainedFallback.
+func engines(in SearchInput) map[string]SearchResult {
+	return map[string]SearchResult{
+		"Search":           Search(in),
+		"SearchLevelwise":  SearchLevelwise(in),
+		"BruteForceSearch": BruteForceSearch(in),
+	}
+}
+
+// TestOverConstrainedFallbackRespectsFilter is the regression test for the
+// prepareLists fallback handing out a configuration its Filter forbids:
+// with a batch bound that excludes every filter-admissible config, the
+// fallback must relax the batch bound and keep the filter — an ablation
+// run (e.g. no GPU sharing) must never execute a forbidden config.
+func TestOverConstrainedFallbackRespectsFilter(t *testing.T) {
+	o := smallOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Classification)
+	onlyBatch4 := func(c profile.Config) bool { return c.Batch == 4 }
+	// MaxFirstBatch 2 ∩ batch==4 is empty: stage 0 is over-constrained.
+	in := SearchInput{Tables: tables, GSLO: 5 * time.Second, K: 3,
+		MaxFirstBatch: 2, Filter: onlyBatch4}
+	for name, res := range engines(in) {
+		if len(res.Paths) == 0 {
+			t.Fatalf("%s: no paths", name)
+		}
+		for pi, p := range res.Paths {
+			for si, e := range p.Ests {
+				if e.Config.Batch != 4 {
+					t.Errorf("%s: path %d stage %d config %v violates the filter",
+						name, pi, si, e.Config)
+				}
+			}
+		}
+	}
+}
+
+// TestOverConstrainedFilterExcludesEverything pins the panic-free
+// degradation: when the filter admits no configuration at all, planning
+// must still return paths (honoring the batch bound, which remains
+// satisfiable) and all engines must agree.
+func TestOverConstrainedFilterExcludesEverything(t *testing.T) {
+	o := smallOracle()
+	tables := tablesFor(o, profile.SuperResolution, profile.Deblur)
+	impossible := func(profile.Config) bool { return false }
+	in := SearchInput{Tables: tables, GSLO: 5 * time.Second, K: 3,
+		MaxFirstBatch: 2, Filter: impossible}
+	results := engines(in)
+	want := results["BruteForceSearch"]
+	for name, res := range results {
+		if len(res.Paths) == 0 {
+			t.Fatalf("%s: no paths despite degradation", name)
+		}
+		if res.Paths[0].Ests[0].Config.Batch > 2 {
+			t.Errorf("%s: degraded fallback ignored the satisfiable batch bound: %v",
+				name, res.Paths[0].Ests[0].Config)
+		}
+		if res.Feasible != want.Feasible || len(res.Paths) != len(want.Paths) {
+			t.Errorf("%s: feasible=%v paths=%d, oracle feasible=%v paths=%d",
+				name, res.Feasible, len(res.Paths), want.Feasible, len(want.Paths))
+			continue
+		}
+		for i := range res.Paths {
+			if res.Paths[i].Cost != want.Paths[i].Cost {
+				t.Errorf("%s: path %d cost %v, oracle %v", name, i, res.Paths[i].Cost, want.Paths[i].Cost)
+			}
+		}
+	}
+}
+
+// TestSearchMatchesBruteForceOverConstrained drives randomized inputs —
+// including filters and batch bounds that leave stages empty or nearly so —
+// through Search and the exhaustive oracle. Beyond cost agreement it checks
+// the fallback contract: whenever a stage's filter admits any config at
+// all, every returned config of that stage satisfies the filter.
+func TestSearchMatchesBruteForceOverConstrained(t *testing.T) {
+	o := smallOracle()
+	names := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	filters := []struct {
+		id string
+		f  func(profile.Config) bool
+	}{
+		{"nil", nil},
+		{"batch4", func(c profile.Config) bool { return c.Batch == 4 }},
+		{"gpu4", func(c profile.Config) bool { return c.GPU == 4 }},
+		{"cpu2batch1", func(c profile.Config) bool { return c.CPU >= 2 && c.Batch == 1 }},
+		{"none", func(profile.Config) bool { return false }},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 120; trial++ {
+		m := 1 + rng.Intn(3)
+		fns := make([]string, m)
+		for i := range fns {
+			fns[i] = names[rng.Intn(len(names))]
+		}
+		fl := filters[rng.Intn(len(filters))]
+		in := SearchInput{
+			Tables:        tablesFor(o, fns...),
+			GSLO:          time.Duration(100+rng.Intn(2000)) * time.Millisecond,
+			MaxFirstBatch: rng.Intn(4), // 0 = unbounded, 3 excludes batch 4
+			K:             1 + rng.Intn(5),
+			Hop:           time.Duration(rng.Intn(3)) * time.Millisecond,
+			Filter:        fl.f,
+		}
+		desc := fmt.Sprintf("trial %d fns=%v filter=%s gslo=%v maxBatch=%d k=%d",
+			trial, fns, fl.id, in.GSLO, in.MaxFirstBatch, in.K)
+		got := Search(in)
+		want := BruteForceSearch(in)
+		if got.Feasible != want.Feasible || len(got.Paths) != len(want.Paths) {
+			t.Fatalf("%s: feasible=%v/%d vs oracle %v/%d",
+				desc, got.Feasible, len(got.Paths), want.Feasible, len(want.Paths))
+		}
+		if want.Feasible {
+			for i := range got.Paths {
+				if got.Paths[i].Cost != want.Paths[i].Cost {
+					t.Fatalf("%s: path %d cost %v vs oracle %v", desc, i, got.Paths[i].Cost, want.Paths[i].Cost)
+				}
+			}
+		}
+		if fl.f == nil || fl.id == "none" {
+			continue
+		}
+		admitsAny := false
+		for _, cfg := range o.Space.Configs() {
+			if fl.f(cfg) {
+				admitsAny = true
+				break
+			}
+		}
+		if !admitsAny {
+			continue
+		}
+		for pi, p := range got.Paths {
+			for si, e := range p.Ests {
+				if !fl.f(e.Config) {
+					t.Fatalf("%s: path %d stage %d config %v violates a satisfiable filter",
+						desc, pi, si, e.Config)
+				}
+			}
+		}
+	}
+}

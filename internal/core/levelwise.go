@@ -38,7 +38,7 @@ func SearchLevelwise(in SearchInput) SearchResult {
 		}
 		lists[j] = filteredList(in.Tables[j], maxBatch, in.Filter)
 		if len(lists[j]) == 0 {
-			lists[j] = in.Tables[j].ByLatency[:1]
+			lists[j] = overConstrainedFallback(in.Tables[j].ByLatency, maxBatch, in.Filter)
 		}
 	}
 

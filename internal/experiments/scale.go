@@ -25,6 +25,14 @@ type ScaleSpec struct {
 	// Requests is the trace length (default 30000, scaled by the
 	// runner's Scale).
 	Requests int
+	// Replan multiplies re-planning pressure (default 1): the
+	// controller's scheduling quantum is divided by it, so every AFW
+	// queue is revisited — and the adaptive schedulers re-plan — Replan×
+	// as often (fractions below 1 relax the cadence instead). It
+	// stresses exactly the path the plan cache's feasibility intervals
+	// and resumes are built for: the same stage groups searched again
+	// and again under a slowly tightening target.
+	Replan float64
 	// Schedulers lists the algorithms to stress (default ESG, INFless,
 	// FaST-GShare — the adaptive planners; the offline ones add nothing
 	// to a hot-path stress).
@@ -70,6 +78,9 @@ func (r *Runner) ScaleCell(name string, spec ScaleSpec) Cell {
 	apps := workflow.ScaleApps()
 	c := r.ComparisonCell(name, workload.Heavy, workflow.Relaxed)
 	c.Key = fmt.Sprintf("scale/%s/%dn/%gx/%dr", name, spec.Nodes, spec.LoadFactor, spec.Requests)
+	if spec.Replan > 0 && spec.Replan != 1 {
+		c.Key += fmt.Sprintf("/replan%g", spec.Replan)
+	}
 	c.Trace = ScaleTrace(r.Seed, spec, len(apps))
 	c.Tune = func(cfg *controller.Config) {
 		cfg.Cluster = ScaleCluster(spec.Nodes)
@@ -79,6 +90,13 @@ func (r *Runner) ScaleCell(name string, spec ScaleSpec) Cell {
 		// 1 ns disables that cut, leaving only the default 10 %
 		// request-fraction warm-up window.
 		cfg.WarmupTime = 1
+		if spec.Replan > 0 && spec.Replan != 1 {
+			q := time.Duration(float64(controller.DefaultQuantum) / spec.Replan)
+			if q < 50*time.Microsecond {
+				q = 50 * time.Microsecond
+			}
+			cfg.Quantum = q
+		}
 	}
 	return c
 }
@@ -101,13 +119,20 @@ func ScaleScenario(r *Runner, spec ScaleSpec) (*Table, error) {
 			spec.Requests = 1000
 		}
 	}
+	if spec.Replan <= 0 {
+		spec.Replan = 1
+	}
 	if len(spec.Schedulers) == 0 {
 		spec.Schedulers = DefaultScaleSpec().Schedulers
 	}
+	title := fmt.Sprintf("Scale stress: %d nodes, %g× heavy load, %d apps, %d requests",
+		spec.Nodes, spec.LoadFactor, len(workflow.ScaleApps()), spec.Requests)
+	if spec.Replan != 1 {
+		title += fmt.Sprintf(", %g× re-plan pressure", spec.Replan)
+	}
 	t := &Table{
-		ID: "scale",
-		Title: fmt.Sprintf("Scale stress: %d nodes, %g× heavy load, %d apps, %d requests",
-			spec.Nodes, spec.LoadFactor, len(workflow.ScaleApps()), spec.Requests),
+		ID:    "scale",
+		Title: title,
 		Columns: []string{"Scheduler", "Wall (s)", "Sim (s)", "Req/sim-s", "Hit rate",
 			"Tasks", "Forced", "Cold", "Warm", "Unfinished"},
 	}

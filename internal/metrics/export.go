@@ -29,6 +29,8 @@ type Export struct {
 	MissRate     float64 `json:"miss_rate"`
 
 	PlanCacheHits          uint64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheIntervalHits  uint64 `json:"plan_cache_interval_hits,omitempty"`
+	PlanCacheResumes       uint64 `json:"plan_cache_resumes,omitempty"`
 	PlanCacheMisses        uint64 `json:"plan_cache_misses,omitempty"`
 	PlanCacheEvictions     uint64 `json:"plan_cache_evictions,omitempty"`
 	PlanCacheInvalidations uint64 `json:"plan_cache_invalidations,omitempty"`
@@ -80,6 +82,8 @@ func (r *Result) ToExport(includeSeries bool) Export {
 		MissRate:     r.MissRate(),
 
 		PlanCacheHits:          r.PlanCacheHits,
+		PlanCacheIntervalHits:  r.PlanCacheIntervalHits,
+		PlanCacheResumes:       r.PlanCacheResumes,
 		PlanCacheMisses:        r.PlanCacheMisses,
 		PlanCacheEvictions:     r.PlanCacheEvictions,
 		PlanCacheInvalidations: r.PlanCacheInvalidations,

@@ -74,8 +74,11 @@ type Result struct {
 	WarmStarts      int
 
 	// Plan-cache counters (zero when the scheduler ran without a
-	// memoized search layer).
+	// memoized search layer). A lookup resolves as exactly one of hit,
+	// interval hit, resume, or miss (a cold search).
 	PlanCacheHits          uint64
+	PlanCacheIntervalHits  uint64
+	PlanCacheResumes       uint64
 	PlanCacheMisses        uint64
 	PlanCacheEvictions     uint64
 	PlanCacheInvalidations uint64
@@ -104,8 +107,11 @@ func (r *Result) Summary() string {
 	s := fmt.Sprintf("%s/%s/%s: hit=%.1f%% cost=%s n=%d unfinished=%d cold=%d warm=%d",
 		r.Scheduler, r.Workload, r.SLOLevel, 100*r.HitRate, r.TotalCost, r.Instances,
 		r.Unfinished, r.ColdStarts, r.WarmStarts)
-	if lookups := r.PlanCacheHits + r.PlanCacheMisses; lookups > 0 {
-		s += fmt.Sprintf(" plancache=%d/%d", r.PlanCacheHits, lookups)
+	saved := r.PlanCacheHits + r.PlanCacheIntervalHits + r.PlanCacheResumes
+	if lookups := saved + r.PlanCacheMisses; lookups > 0 {
+		s += fmt.Sprintf(" plancache=%d/%d (exact %d, interval %d, resume %d, cold %d)",
+			saved, lookups, r.PlanCacheHits, r.PlanCacheIntervalHits, r.PlanCacheResumes,
+			r.PlanCacheMisses)
 	}
 	return s
 }
@@ -125,10 +131,18 @@ type Collector struct {
 	prePlanned int
 	misses     int
 
-	cacheHits          uint64
-	cacheMisses        uint64
-	cacheEvictions     uint64
-	cacheInvalidations uint64
+	cache PlanCacheCounters
+}
+
+// PlanCacheCounters carries a scheduler's memoized-search counters into
+// the collector (see the PlanCache* fields of Result).
+type PlanCacheCounters struct {
+	Hits          uint64
+	IntervalHits  uint64
+	Resumes       uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
 }
 
 // NewCollector starts collection for one run.
@@ -157,11 +171,8 @@ func (c *Collector) RecordDispatch(forced bool) {
 
 // RecordCacheStats notes the scheduler's plan-cache counters at the end of
 // a run.
-func (c *Collector) RecordCacheStats(hits, misses, evictions, invalidations uint64) {
-	c.cacheHits = hits
-	c.cacheMisses = misses
-	c.cacheEvictions = evictions
-	c.cacheInvalidations = invalidations
+func (c *Collector) RecordCacheStats(pc PlanCacheCounters) {
+	c.cache = pc
 }
 
 // RecordInstance notes one completed workflow instance.
@@ -193,10 +204,12 @@ func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, ut
 		ConfigMisses:           c.misses,
 		ColdStarts:             coldStarts,
 		WarmStarts:             warmStarts,
-		PlanCacheHits:          c.cacheHits,
-		PlanCacheMisses:        c.cacheMisses,
-		PlanCacheEvictions:     c.cacheEvictions,
-		PlanCacheInvalidations: c.cacheInvalidations,
+		PlanCacheHits:          c.cache.Hits,
+		PlanCacheIntervalHits:  c.cache.IntervalHits,
+		PlanCacheResumes:       c.cache.Resumes,
+		PlanCacheMisses:        c.cache.Misses,
+		PlanCacheEvictions:     c.cache.Evictions,
+		PlanCacheInvalidations: c.cache.Invalidations,
 		Unfinished:             unfinished,
 		UtilCPU:                utilCPU,
 		UtilGPU:                utilGPU,

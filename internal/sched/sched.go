@@ -95,11 +95,22 @@ type Scheduler interface {
 func DefaultMinConfig() profile.Config { return profile.MinConfig }
 
 // PlanCacheStats are the counters of a scheduler's memoized plan search.
+// A lookup resolves as exactly one of Hits (exact key), IntervalHits (a
+// neighboring target bucket's entry answered through its feasibility
+// interval), Resumes (a retained search was re-pruned and continued), or
+// Misses (a cold search from scratch).
 type PlanCacheStats struct {
 	Hits          uint64
+	IntervalHits  uint64
+	Resumes       uint64
 	Misses        uint64
 	Evictions     uint64
 	Invalidations uint64
+}
+
+// Lookups returns the total number of memoized searches observed.
+func (s PlanCacheStats) Lookups() uint64 {
+	return s.Hits + s.IntervalHits + s.Resumes + s.Misses
 }
 
 // PlanCaching is implemented by schedulers whose configuration search can
