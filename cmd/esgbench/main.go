@@ -28,6 +28,7 @@
 //	-replan F     scale scenario: re-plan pressure multiplier — divides the
 //	              2 ms scheduling quantum so queues are re-planned F× as
 //	              often (default 1)
+//	-cpuprofile P write a pprof CPU profile of the whole run to P
 package main
 
 import (
@@ -36,6 +37,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/esg-sched/esg/internal/experiments"
@@ -55,8 +57,30 @@ func main() {
 		load      = flag.Float64("load", 0, "scale scenario: arrival-rate multiplier over heavy (default 100)")
 		requests  = flag.Int("requests", 0, "scale scenario: trace length (default 30000 × -scale)")
 		replan    = flag.Float64("replan", 0, "scale scenario: re-plan pressure multiplier — divides the 2 ms scheduling quantum (default 1)")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	stopProfile := func() {}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esgbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "esgbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		// Called on every exit path, not deferred: os.Exit on a failed
+		// target must still flush the profile (a profile of the failing
+		// run is exactly the one worth keeping).
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
 
 	targets := flag.Args()
 	if len(targets) == 1 && targets[0] == "all" {
@@ -102,6 +126,7 @@ func main() {
 		table, err := run(r, target)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "esgbench: %s: %v\n", target, err)
+			stopProfile()
 			os.Exit(1)
 		}
 		table.Render(os.Stdout)

@@ -37,7 +37,9 @@ func env(t *testing.T, level workflow.SLOLevel) (*sched.Env, *queue.Set) {
 		SLOs:     slos,
 		Noise:    profile.DefaultNoise(),
 	}
-	return e, queue.NewSet(apps)
+	qs := queue.NewSet(apps)
+	qs.Bind(e.Cluster)
+	return e, qs
 }
 
 func fill(q *queue.AFW, app *workflow.App, appIdx, n int, slo time.Duration) {

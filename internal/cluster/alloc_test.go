@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// The steady warm-pool path must stay allocation-free: a warm StartTask
+// consumes the ring head, FinishTask pushes into storage the pool has
+// already grown, and the presence/busy indexes are flat slices and
+// preallocated bitsets. These pins are the regression gate for the expiry-
+// wheel engine (benchmarks in bench_test.go are their timing twins).
+
+func allocPinCluster() (*Cluster, *Invoker, FnID) {
+	c := MustNew(DefaultConfig())
+	fn := c.Intern("deblur")
+	inv := c.Invokers[0]
+	// Prime every structure the steady path touches: per-fn ledgers, the
+	// ring's storage, the warm bitset, and the busy counter.
+	inv.AddWarm(fn, 0)
+	inv.StartTask(fn, 0)
+	inv.FinishTask(fn, 0)
+	return c, inv, fn
+}
+
+func TestStartFinishWarmAllocFree(t *testing.T) {
+	_, inv, fn := allocPinCluster()
+	now := time.Duration(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += time.Millisecond
+		if !inv.StartTask(fn, now) {
+			t.Fatal("expected a warm hit")
+		}
+		inv.FinishTask(fn, now)
+	})
+	if allocs != 0 {
+		t.Errorf("StartTask(warm)+FinishTask allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestHasIdleWarmAllocFree(t *testing.T) {
+	_, inv, fn := allocPinCluster()
+	now := time.Duration(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += time.Millisecond
+		if !inv.HasIdleWarm(fn, now) {
+			t.Fatal("warm container vanished")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("HasIdleWarm allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestExpiryPruneAllocFree(t *testing.T) {
+	// Expiry itself is allocation-free too: containers expiring out of the
+	// pool pop off the ring head without touching the heap.
+	c := MustNew(DefaultConfig())
+	fn := c.Intern("deblur")
+	inv := c.Invokers[0]
+	now := time.Duration(0)
+	inv.AddWarm(fn, now)
+	inv.HasIdleWarm(fn, now+c.Cfg.KeepAlive) // expire it: ring storage stays
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += time.Millisecond
+		inv.AddWarm(fn, now)
+		if inv.HasIdleWarm(fn, now+c.Cfg.KeepAlive) {
+			t.Fatal("container outlived its keep-alive")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AddWarm+expire cycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestFirstWarmFitAllocFree(t *testing.T) {
+	c, _, fn := allocPinCluster()
+	now := time.Duration(0)
+	res := c.Invokers[0].Capacity
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += time.Millisecond
+		if c.FirstWarmFit(fn, now, res) == nil {
+			t.Fatal("warm fit vanished")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("FirstWarmFit allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -14,6 +14,7 @@ func bench256(b *testing.B) *Cluster {
 	cfg := DefaultConfig()
 	cfg.Nodes = 256
 	c := MustNew(cfg)
+	fnA := c.Intern("fn-a")
 	for i, inv := range c.Invokers {
 		if i%3 == 0 {
 			if err := inv.Acquire(units.Resources{CPU: 4, GPU: 2}, 0); err != nil {
@@ -21,7 +22,7 @@ func bench256(b *testing.B) *Cluster {
 			}
 		}
 		if i%7 == 0 {
-			inv.AddWarm("fn-a", 0)
+			inv.AddWarm(fnA, 0)
 		}
 	}
 	return c
@@ -44,10 +45,11 @@ func BenchmarkMostFree256(b *testing.B) {
 // fleet where ~1/7 of the nodes hold a warm container.
 func BenchmarkWarmInvokers256(b *testing.B) {
 	c := bench256(b)
+	fnA := c.Intern("fn-a")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if len(c.WarmInvokers("fn-a", time.Second)) == 0 {
+		if len(c.WarmInvokers(fnA, time.Second)) == 0 {
 			b.Fatal("no warm invokers")
 		}
 	}
@@ -57,12 +59,76 @@ func BenchmarkWarmInvokers256(b *testing.B) {
 // scan at seed, counter read now).
 func BenchmarkHasBusyOrWarming256(b *testing.B) {
 	c := bench256(b)
-	c.Invokers[200].StartTask("fn-b", 0)
+	fnB := c.Intern("fn-b")
+	c.Invokers[200].StartTask(fnB, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !c.HasBusyOrWarming("fn-b") {
+		if !c.HasBusyOrWarming(fnB) {
 			b.Fatal("lost the busy container")
+		}
+	}
+}
+
+// BenchmarkStartFinishWarm256 measures the steady warm-container cycle on
+// a 256-node fleet: a warm StartTask hit followed by FinishTask. This is
+// the dispatch/complete hot pair of every simulated task (map-keyed pools
+// with scan pruning before the expiry-wheel engine; 0 allocs now, pinned
+// by alloc_test.go).
+func BenchmarkStartFinishWarm256(b *testing.B) {
+	c := bench256(b)
+	fnA := c.Intern("fn-a")
+	inv := c.Invokers[0] // holds a warm container (0 % 7 == 0)
+	now := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += time.Microsecond
+		if !inv.StartTask(fnA, now) {
+			b.Fatal("warm hit expected")
+		}
+		inv.FinishTask(fnA, now)
+	}
+}
+
+// BenchmarkHasIdleWarm256 measures the warm-presence probe every placement
+// decision issues (per-call pool scan at seed, ring-head read now).
+func BenchmarkHasIdleWarm256(b *testing.B) {
+	c := bench256(b)
+	fnA := c.Intern("fn-a")
+	inv := c.Invokers[0]
+	// A fixed timestamp keeps the container inside its keep-alive for any
+	// b.N; the probe does identical work whether or not time advances, as
+	// long as nothing expires.
+	now := time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !inv.HasIdleWarm(fnA, now) {
+			b.Fatal("warm container vanished")
+		}
+	}
+}
+
+// BenchmarkWarmPoolChurn256 measures expiry under maximum churn: each
+// iteration installs a container and advances past its keep-alive, so
+// every probe prunes. Amortized O(1) per container with the expiry ring
+// (the seed engine re-scanned the surviving pool on every call).
+func BenchmarkWarmPoolChurn256(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 256
+	cfg.KeepAlive = time.Millisecond
+	c := MustNew(cfg)
+	fn := c.Intern("fn-churn")
+	inv := c.Invokers[0]
+	now := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inv.AddWarm(fn, now)
+		now += cfg.KeepAlive + time.Microsecond
+		if inv.HasIdleWarm(fn, now) {
+			b.Fatal("container outlived its keep-alive")
 		}
 	}
 }

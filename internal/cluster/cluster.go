@@ -101,11 +101,14 @@ func (c Config) TransferTime(sizeMB float64, sameNode bool) time.Duration {
 }
 
 // Cluster is the set of invokers plus the incrementally maintained
-// placement indexes over them (see fleetIndex).
+// placement indexes over them (see fleetIndex) and the fleet-wide function
+// interner: every container API is keyed by dense FnID handles resolved
+// once via Intern (queue.Set.Bind does it for a scenario's queues).
 type Cluster struct {
 	Cfg      Config
 	Invokers []*Invoker
 	idx      *fleetIndex
+	fns      interner
 }
 
 // New builds a cluster per cfg.
@@ -129,6 +132,25 @@ func MustNew(cfg Config) *Cluster {
 	}
 	return c
 }
+
+// Intern resolves a function name to its dense fleet-wide handle,
+// assigning the next free FnID on first use. Handles are stable for the
+// cluster's lifetime and index every per-function structure, so callers
+// resolve names once at construction and never on the scheduling path.
+func (c *Cluster) Intern(name string) FnID {
+	id := c.fns.intern(name)
+	c.idx.growFns(len(c.fns.names))
+	return id
+}
+
+// FnName returns the name behind an interned handle.
+func (c *Cluster) FnName(fn FnID) string {
+	c.idx.checkFn(fn)
+	return c.fns.names[fn]
+}
+
+// NumFns returns the number of interned functions.
+func (c *Cluster) NumFns() int { return len(c.fns.names) }
 
 // HomeInvoker returns the deterministic "home invoker" of a key — the
 // OpenWhisk hash of (namespace, action) that concentrates a function's
@@ -159,7 +181,8 @@ func (c *Cluster) TotalFree(now time.Duration) units.Resources {
 // WarmInvokers returns invokers holding an idle warm container for the
 // function at time now, in ascending ID order. Only invokers in the warm
 // index are visited (and lazily pruned), not the whole fleet.
-func (c *Cluster) WarmInvokers(fn string, now time.Duration) []*Invoker {
+func (c *Cluster) WarmInvokers(fn FnID, now time.Duration) []*Invoker {
+	c.idx.checkFn(fn)
 	var out []*Invoker
 	for _, id := range c.idx.warmIDs(fn) {
 		if inv := c.Invokers[id]; inv.HasIdleWarm(fn, now) {
@@ -172,7 +195,8 @@ func (c *Cluster) WarmInvokers(fn string, now time.Duration) []*Invoker {
 // FirstWarmFit returns the lowest-ID invoker holding an idle warm container
 // for fn at now whose free capacity fits res, or nil. It is the allocation-
 // free fast path of the dispatch policies' "any warm invoker" step.
-func (c *Cluster) FirstWarmFit(fn string, now time.Duration, res units.Resources) *Invoker {
+func (c *Cluster) FirstWarmFit(fn FnID, now time.Duration, res units.Resources) *Invoker {
+	c.idx.checkFn(fn)
 	for _, id := range c.idx.warmIDs(fn) {
 		inv := c.Invokers[id]
 		if inv.HasIdleWarm(fn, now) && inv.CanFit(res) {
@@ -185,14 +209,16 @@ func (c *Cluster) FirstWarmFit(fn string, now time.Duration, res units.Resources
 // HasBusyOrWarming reports whether any invoker currently runs or warms a
 // container of fn — the signal that waiting for a container beats paying a
 // cold start. O(1) via the fleet index.
-func (c *Cluster) HasBusyOrWarming(fn string) bool {
+func (c *Cluster) HasBusyOrWarming(fn FnID) bool {
+	c.idx.checkFn(fn)
 	return c.idx.busyTotal[fn] > 0 || c.idx.warmingInv[fn] > 0
 }
 
 // ContainersFor counts every container of fn at now — busy, idle-warm
 // (pruned at now) and one per invoker with an in-flight pre-warm — the
 // fleet-wide pool size the pre-warm planners compare against demand.
-func (c *Cluster) ContainersFor(fn string, now time.Duration) int {
+func (c *Cluster) ContainersFor(fn FnID, now time.Duration) int {
+	c.idx.checkFn(fn)
 	n := c.idx.busyTotal[fn] + c.idx.warmingInv[fn]
 	for _, id := range c.idx.warmIDs(fn) {
 		n += c.Invokers[id].IdleWarmCount(fn, now)
@@ -214,7 +240,8 @@ func (c *Cluster) MostFree() *Invoker {
 // MostFreeNotWarming returns the invoker with the largest free GPU capacity
 // (ties broken by lowest ID) among those not already warming a container of
 // fn, or nil when every invoker is — the background warm-up target policy.
-func (c *Cluster) MostFreeNotWarming(fn string) *Invoker {
+func (c *Cluster) MostFreeNotWarming(fn FnID) *Invoker {
+	c.idx.checkFn(fn)
 	id := c.idx.mostFreeWhere(func(id int) bool { return !c.Invokers[id].Warming(fn) })
 	if id < 0 {
 		return nil

@@ -100,7 +100,7 @@ func TestReleaseMoreThanAcquiredPanics(t *testing.T) {
 func TestWarmContainerLifecycle(t *testing.T) {
 	c := testCluster(t)
 	inv := c.Invokers[0]
-	const fn = "deblur"
+	fn := c.Intern("deblur")
 
 	if inv.HasIdleWarm(fn, 0) {
 		t.Errorf("fresh invoker has warm container")
@@ -129,7 +129,7 @@ func TestKeepAliveExpiry(t *testing.T) {
 	cfg.KeepAlive = 10 * time.Second
 	c := MustNew(cfg)
 	inv := c.Invokers[0]
-	const fn = "f"
+	fn := c.Intern("f")
 	inv.StartTask(fn, 0)
 	inv.FinishTask(fn, time.Second) // idle until 11s
 	if !inv.HasIdleWarm(fn, 10*time.Second) {
@@ -152,13 +152,13 @@ func TestFinishWithoutStartPanics(t *testing.T) {
 			t.Errorf("FinishTask without StartTask did not panic")
 		}
 	}()
-	c.Invokers[0].FinishTask("f", 0)
+	c.Invokers[0].FinishTask(c.Intern("f"), 0)
 }
 
 func TestWarmingLifecycle(t *testing.T) {
 	c := testCluster(t)
 	inv := c.Invokers[0]
-	const fn = "f"
+	fn := c.Intern("f")
 	if inv.Warming(fn) {
 		t.Errorf("fresh invoker warming")
 	}
@@ -185,7 +185,7 @@ func TestFinishWarmingWithoutBeginPanics(t *testing.T) {
 			t.Errorf("FinishWarming without BeginWarming did not panic")
 		}
 	}()
-	c.Invokers[0].FinishWarming("f", 0)
+	c.Invokers[0].FinishWarming(c.Intern("f"), 0)
 }
 
 func TestHomeInvokerDeterministic(t *testing.T) {
@@ -207,7 +207,7 @@ func TestHomeInvokerDeterministic(t *testing.T) {
 
 func TestWarmInvokersAndMostFree(t *testing.T) {
 	c := testCluster(t)
-	const fn = "f"
+	fn := c.Intern("f")
 	c.Invokers[3].AddWarm(fn, 0)
 	c.Invokers[7].AddWarm(fn, 0)
 	warm := c.WarmInvokers(fn, time.Second)
@@ -279,6 +279,77 @@ func TestResourceConservationProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestIntegrateTimeRegressionPanics(t *testing.T) {
+	// Out-of-order ledger timestamps are scheduler bugs; silently skipping
+	// the window (the seed behavior) under-counted the utilization
+	// integrals. The ledger must panic like it does for over-release.
+	c := testCluster(t)
+	inv := c.Invokers[0]
+	if err := inv.Acquire(units.Resources{CPU: 1, GPU: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("time-regressed Release did not panic")
+		}
+	}()
+	inv.Release(units.Resources{CPU: 1, GPU: 1}, 500*time.Millisecond)
+}
+
+func TestWarmPoolTimeRegressionPanics(t *testing.T) {
+	c := testCluster(t)
+	inv := c.Invokers[0]
+	fn := c.Intern("f")
+	inv.AddWarm(fn, 2*time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("time-regressed AddWarm did not panic")
+		}
+	}()
+	inv.AddWarm(fn, time.Second)
+}
+
+func TestInternAndFnName(t *testing.T) {
+	c := testCluster(t)
+	a := c.Intern("deblur")
+	b := c.Intern("super-res")
+	if a == b {
+		t.Fatalf("distinct names share FnID %d", a)
+	}
+	if c.Intern("deblur") != a {
+		t.Errorf("re-intern changed the handle")
+	}
+	if c.FnName(a) != "deblur" || c.FnName(b) != "super-res" {
+		t.Errorf("FnName round-trip broken: %q, %q", c.FnName(a), c.FnName(b))
+	}
+	if c.NumFns() != 2 {
+		t.Errorf("NumFns = %d, want 2", c.NumFns())
+	}
+}
+
+func TestUnresolvedFnIDPanics(t *testing.T) {
+	c := testCluster(t)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NoFn handle did not panic")
+		}
+	}()
+	c.Invokers[0].AddWarm(NoFn, 0)
+}
+
+func TestForeignFnIDPanics(t *testing.T) {
+	// A positive handle this cluster's interner never assigned (e.g. one
+	// interned on another cluster) must panic too, not silently resolve.
+	c := testCluster(t)
+	c.Intern("f")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range FnID did not panic")
+		}
+	}()
+	c.MostFreeNotWarming(FnID(7))
 }
 
 func TestTotalCapacityAndFree(t *testing.T) {

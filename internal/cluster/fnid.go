@@ -1,0 +1,34 @@
+package cluster
+
+// FnID is a dense interned handle for a function name, assigned by
+// Cluster.Intern in first-intern order. Every container-lifecycle API of
+// the cluster layer (warm pools, busy/warming ledgers, the fleet indexes)
+// is keyed by FnID, so the hot paths index flat slices instead of hashing
+// strings. Handles are per-cluster: resolve names once at construction
+// (queue.Set.Bind does it for a scenario's AFW queues) and carry the
+// handle, never the name, into the scheduling loop.
+type FnID int32
+
+// NoFn marks an unresolved handle (the zero value of queue.AFW.FnID before
+// binding). Passing it to any cluster API panics, so a forgotten
+// Intern/Bind fails loudly instead of silently aliasing function 0.
+const NoFn FnID = -1
+
+// interner assigns dense FnIDs in first-intern order.
+type interner struct {
+	ids   map[string]FnID
+	names []string
+}
+
+func (t *interner) intern(name string) FnID {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	if t.ids == nil {
+		t.ids = make(map[string]FnID)
+	}
+	id := FnID(len(t.names))
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	return id
+}

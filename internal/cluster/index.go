@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math/bits"
 
 	"github.com/esg-sched/esg/internal/units"
@@ -21,8 +22,10 @@ import (
 //   - per-function fleet-wide busy-container totals and counts of invokers
 //     with an in-flight pre-warm.
 //
-// Invokers push every ledger mutation into the index, so reads never scan
-// the fleet.
+// All per-function state is indexed by interned FnID — flat slices grown by
+// growFns as the cluster's interner assigns handles — so the hot counters
+// are plain loads, never map probes. Invokers push every ledger mutation
+// into the index, so reads never scan the fleet.
 type fleetIndex struct {
 	maxCPU int
 	maxGPU int
@@ -33,19 +36,15 @@ type fleetIndex struct {
 	rows   []int    // per-free-GPU row counts, len maxGPU+1
 	rowBit []uint64 // per-row union bitsets, words each
 
-	warmSet    map[string][]uint64 // fn -> bitset of invokers with idle warm pools
-	busyTotal  map[string]int      // fn -> total busy containers
-	warmingInv map[string]int      // fn -> invokers with warming[fn] > 0
+	warmSet    [][]uint64 // FnID -> bitset of invokers with idle warm pools (nil until first presence)
+	busyTotal  []int      // FnID -> total busy containers
+	warmingInv []int      // FnID -> invokers with warming[fn] > 0
 
 	idScratch []int // reusable ID buffer for iteration that mutates bitsets
 }
 
 func newFleetIndex(shapes []units.Resources) *fleetIndex {
-	x := &fleetIndex{
-		warmSet:    make(map[string][]uint64),
-		busyTotal:  make(map[string]int),
-		warmingInv: make(map[string]int),
-	}
+	x := &fleetIndex{}
 	for _, s := range shapes {
 		if int(s.CPU) > x.maxCPU {
 			x.maxCPU = int(s.CPU)
@@ -171,11 +170,28 @@ func (x *fleetIndex) mostFreeWhere(keep func(id int) bool) int {
 	return -1
 }
 
+// growFns extends the per-function slices to cover n interned handles.
+func (x *fleetIndex) growFns(n int) {
+	for len(x.busyTotal) < n {
+		x.warmSet = append(x.warmSet, nil)
+		x.busyTotal = append(x.busyTotal, 0)
+		x.warmingInv = append(x.warmingInv, 0)
+	}
+}
+
+// checkFn rejects handles this cluster's interner never assigned (negative
+// sentinels and FnIDs from another cluster).
+func (x *fleetIndex) checkFn(fn FnID) {
+	if fn < 0 || int(fn) >= len(x.busyTotal) {
+		panic(fmt.Sprintf("cluster: FnID %d not interned on this cluster (intern via Cluster.Intern or queue.Set.Bind)", fn))
+	}
+}
+
 // warmPresence records whether an invoker currently holds a nonzero idle
 // warm pool for fn.
-func (x *fleetIndex) warmPresence(fn string, id int, present bool) {
-	set, ok := x.warmSet[fn]
-	if !ok {
+func (x *fleetIndex) warmPresence(fn FnID, id int, present bool) {
+	set := x.warmSet[fn]
+	if set == nil {
 		if !present {
 			return
 		}
@@ -192,14 +208,9 @@ func (x *fleetIndex) warmPresence(fn string, id int, present bool) {
 // warmIDs appends the IDs in fn's warm bitset to the reusable scratch in
 // ascending order and returns it. The snapshot keeps iteration stable while
 // callers prune pools (which may clear bits mid-walk).
-func (x *fleetIndex) warmIDs(fn string) []int {
+func (x *fleetIndex) warmIDs(fn FnID) []int {
 	ids := x.idScratch[:0]
-	set, ok := x.warmSet[fn]
-	if !ok {
-		x.idScratch = ids
-		return ids
-	}
-	for w, v := range set {
+	for w, v := range x.warmSet[fn] {
 		for v != 0 {
 			ids = append(ids, w*64+bits.TrailingZeros64(v))
 			v &= v - 1
@@ -209,20 +220,10 @@ func (x *fleetIndex) warmIDs(fn string) []int {
 	return ids
 }
 
-func (x *fleetIndex) busyDelta(fn string, d int) {
-	n := x.busyTotal[fn] + d
-	if n == 0 {
-		delete(x.busyTotal, fn)
-	} else {
-		x.busyTotal[fn] = n
-	}
+func (x *fleetIndex) busyDelta(fn FnID, d int) {
+	x.busyTotal[fn] += d
 }
 
-func (x *fleetIndex) warmingDelta(fn string, d int) {
-	n := x.warmingInv[fn] + d
-	if n == 0 {
-		delete(x.warmingInv, fn)
-	} else {
-		x.warmingInv[fn] = n
-	}
+func (x *fleetIndex) warmingDelta(fn FnID, d int) {
+	x.warmingInv[fn] += d
 }

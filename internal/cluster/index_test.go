@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/units"
+)
+
+// rebuildIndex constructs a fresh fleetIndex from a full fleet scan — the
+// ground truth the incrementally maintained index must equal after any
+// operation sequence. Warm presence deliberately uses the lazily-reconciled
+// semantic the live index maintains: a bit is set iff the pool holds any
+// entries, expired or not (expiry clears bits only when a query prunes).
+func rebuildIndex(c *Cluster) *fleetIndex {
+	shapes := make([]units.Resources, len(c.Invokers))
+	for i, inv := range c.Invokers {
+		shapes[i] = inv.Capacity
+	}
+	x := newFleetIndex(shapes) // starts fully free
+	for _, inv := range c.Invokers {
+		x.capacityChanged(inv.ID, inv.Capacity, inv.Free())
+	}
+	x.growFns(c.NumFns())
+	for fn := FnID(0); int(fn) < c.NumFns(); fn++ {
+		for _, inv := range c.Invokers {
+			if int(fn) < len(inv.warm) && inv.warm[fn].n > 0 {
+				x.warmPresence(fn, inv.ID, true)
+			}
+			if int(fn) < len(inv.busy) {
+				x.busyDelta(fn, int(inv.busy[fn]))
+			}
+			if int(fn) < len(inv.warming) && inv.warming[fn] > 0 {
+				x.warmingDelta(fn, 1)
+			}
+		}
+	}
+	return x
+}
+
+// checkIndexConsistency asserts the live index equals the rebuilt one on
+// every bitset and counter.
+func checkIndexConsistency(t *testing.T, c *Cluster, now time.Duration) {
+	t.Helper()
+	live, want := c.idx, rebuildIndex(c)
+	if live.maxCPU != want.maxCPU || live.maxGPU != want.maxGPU || live.words != want.words {
+		t.Fatalf("index shape drifted: (%d,%d,%d) vs rebuilt (%d,%d,%d)",
+			live.maxCPU, live.maxGPU, live.words, want.maxCPU, want.maxGPU, want.words)
+	}
+	for b := range want.counts {
+		if live.counts[b] != want.counts[b] {
+			t.Fatalf("capacity bucket %d count=%d, rebuilt %d", b, live.counts[b], want.counts[b])
+		}
+	}
+	for i := range want.bits {
+		if live.bits[i] != want.bits[i] {
+			t.Fatalf("capacity bucket bitset word %d = %x, rebuilt %x", i, live.bits[i], want.bits[i])
+		}
+	}
+	for g := range want.rows {
+		if live.rows[g] != want.rows[g] {
+			t.Fatalf("GPU row %d count=%d, rebuilt %d", g, live.rows[g], want.rows[g])
+		}
+	}
+	for i := range want.rowBit {
+		if live.rowBit[i] != want.rowBit[i] {
+			t.Fatalf("GPU row bitset word %d = %x, rebuilt %x", i, live.rowBit[i], want.rowBit[i])
+		}
+	}
+	if len(live.busyTotal) != c.NumFns() || len(want.busyTotal) != c.NumFns() {
+		t.Fatalf("per-fn slices sized %d (live) / %d (rebuilt), want %d", len(live.busyTotal), len(want.busyTotal), c.NumFns())
+	}
+	for fn := 0; fn < c.NumFns(); fn++ {
+		if live.busyTotal[fn] != want.busyTotal[fn] {
+			t.Fatalf("fn %d busyTotal=%d, rebuilt %d", fn, live.busyTotal[fn], want.busyTotal[fn])
+		}
+		if live.warmingInv[fn] != want.warmingInv[fn] {
+			t.Fatalf("fn %d warmingInv=%d, rebuilt %d", fn, live.warmingInv[fn], want.warmingInv[fn])
+		}
+		for w := 0; w < live.words; w++ {
+			var lv, wv uint64
+			if live.warmSet[fn] != nil {
+				lv = live.warmSet[fn][w]
+			}
+			if want.warmSet[fn] != nil {
+				wv = want.warmSet[fn][w]
+			}
+			if lv != wv {
+				t.Fatalf("fn %d warmSet word %d = %x, rebuilt %x (now=%v)", fn, w, lv, wv, now)
+			}
+		}
+	}
+}
+
+// TestFleetIndexConsistency fuzzes the cluster with random container and
+// capacity churn — including heavy expiry pressure and queries that prune
+// lazily — and asserts after every burst that rebuilding the index from a
+// fleet scan reproduces the incrementally maintained bitsets and counters.
+func TestFleetIndexConsistency(t *testing.T) {
+	seeds := 10
+	bursts := 60
+	if testing.Short() {
+		seeds, bursts = 3, 20
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x1D8 + int64(seed)))
+			nodes := 1 + rng.Intn(10)
+			keepAlive := time.Duration(1+rng.Intn(8)) * time.Millisecond
+			shapes := make([]units.Resources, nodes)
+			for i := range shapes {
+				shapes[i] = units.Resources{CPU: units.VCPU(1 + rng.Intn(16)), GPU: units.VGPU(1 + rng.Intn(7))}
+			}
+			c := MustNew(Config{NodeShapes: shapes, KeepAlive: keepAlive, RemoteBandwidthMBps: 80})
+			var fns []FnID
+			for i := 0; i < 1+rng.Intn(10); i++ {
+				fns = append(fns, c.Intern(fmt.Sprintf("fn-%d", i)))
+			}
+			now := time.Duration(0)
+			held := make([][]units.Resources, nodes)
+			for burst := 0; burst < bursts; burst++ {
+				for op := 0; op < 40; op++ {
+					if rng.Intn(2) == 0 {
+						now += time.Duration(rng.Intn(3)) * time.Millisecond
+					}
+					inv := c.Invokers[rng.Intn(nodes)]
+					fn := fns[rng.Intn(len(fns))]
+					switch rng.Intn(10) {
+					case 0, 1:
+						inv.AddWarm(fn, now)
+					case 2, 3:
+						inv.StartTask(fn, now)
+					case 4:
+						if inv.BusyContainers(fn) > 0 {
+							inv.FinishTask(fn, now)
+						}
+					case 5:
+						inv.BeginWarming(fn)
+					case 6:
+						if inv.Warming(fn) {
+							inv.FinishWarming(fn, now)
+						}
+					case 7:
+						r := units.Resources{CPU: units.VCPU(rng.Intn(5)), GPU: units.VGPU(rng.Intn(4))}
+						if inv.CanFit(r) {
+							if err := inv.Acquire(r, now); err != nil {
+								t.Fatal(err)
+							}
+							held[inv.ID] = append(held[inv.ID], r)
+						}
+					case 8:
+						if n := len(held[inv.ID]); n > 0 {
+							inv.Release(held[inv.ID][n-1], now)
+							held[inv.ID] = held[inv.ID][:n-1]
+						}
+					case 9:
+						// Lazy-prune queries: these reconcile warm bits.
+						inv.HasIdleWarm(fn, now)
+						c.WarmInvokers(fn, now)
+					}
+				}
+				checkIndexConsistency(t, c, now)
+			}
+		})
+	}
+}

@@ -11,6 +11,11 @@ import (
 // container pools. Idle warm containers do not hold vCPU/vGPU capacity in
 // this model (MIG partitions are only occupied while kernels run); capacity
 // is held by running tasks from acquisition to release.
+//
+// All container state is indexed by interned FnID (see Cluster.Intern):
+// flat slices instead of string-keyed maps, and expiry rings instead of
+// scan-pruned pools, so the steady warm-pool path (StartTask warm hit,
+// FinishTask, HasIdleWarm) is allocation-free and never iterates a pool.
 type Invoker struct {
 	ID        int
 	Capacity  units.Resources
@@ -21,12 +26,12 @@ type Invoker struct {
 	idx *fleetIndex
 
 	used units.Resources
-	// warm maps function name -> expiry times of idle warm containers.
-	warm map[string][]time.Duration
-	// busy counts containers currently executing, per function.
-	busy map[string]int
-	// warming counts in-flight pre-warms, per function.
-	warming map[string]int
+	// warm[fn] is the expiry ring of fn's idle warm containers.
+	warm []expiryRing
+	// busy[fn] counts containers currently executing fn.
+	busy []int32
+	// warming[fn] counts in-flight pre-warms of fn.
+	warming []int32
 
 	// Usage integrals for utilization accounting.
 	lastChange  time.Duration
@@ -44,9 +49,26 @@ func newInvoker(id int, cap units.Resources, keepAlive time.Duration, idx *fleet
 		Capacity:  cap,
 		keepAlive: keepAlive,
 		idx:       idx,
-		warm:      make(map[string][]time.Duration),
-		busy:      make(map[string]int),
-		warming:   make(map[string]int),
+	}
+}
+
+// checkFn rejects unresolved handles so a forgotten Cluster.Intern /
+// queue.Set.Bind fails loudly instead of aliasing function 0.
+func (inv *Invoker) checkFn(fn FnID) {
+	if fn < 0 {
+		panic(fmt.Sprintf("invoker %d: unresolved FnID %d (intern function names via Cluster.Intern or queue.Set.Bind first)", inv.ID, fn))
+	}
+}
+
+// ensureFn grows the per-function ledgers to cover fn. The steady state
+// touches only previously-seen functions, so growth happens once per
+// (invoker, function) pair.
+func (inv *Invoker) ensureFn(fn FnID) {
+	inv.checkFn(fn)
+	for int(fn) >= len(inv.busy) {
+		inv.warm = append(inv.warm, expiryRing{})
+		inv.busy = append(inv.busy, 0)
+		inv.warming = append(inv.warming, 0)
 	}
 }
 
@@ -90,7 +112,10 @@ func (inv *Invoker) Release(r units.Resources, now time.Duration) {
 
 func (inv *Invoker) integrate(now time.Duration) {
 	if now < inv.lastChange {
-		return
+		// Out-of-order timestamps are scheduler bugs: silently skipping the
+		// window would under-count the utilization integrals, so surface it
+		// like the other ledger-bug panics.
+		panic(fmt.Sprintf("invoker %d: time regression in usage integral (now=%v before last change %v)", inv.ID, now, inv.lastChange))
 	}
 	dt := float64(now - inv.lastChange)
 	inv.cpuIntegral += float64(inv.used.CPU) * dt
@@ -103,65 +128,63 @@ func (inv *Invoker) usageIntegral(now time.Duration) (cpu, gpu float64) {
 	return inv.cpuIntegral, inv.gpuIntegral
 }
 
-// pruneWarm drops idle containers whose keep-alive expired by now.
-func (inv *Invoker) pruneWarm(fn string, now time.Duration) {
-	pool, ok := inv.warm[fn]
-	if !ok {
+// pruneWarm drops idle containers whose keep-alive expired by now —
+// amortized O(1) per container: expired deadlines pop off the ring head,
+// never a pool scan.
+func (inv *Invoker) pruneWarm(fn FnID, now time.Duration) {
+	inv.checkFn(fn)
+	if int(fn) >= len(inv.warm) {
 		return
 	}
-	kept := pool[:0]
-	for _, exp := range pool {
-		if exp > now {
-			kept = append(kept, exp)
-		}
-	}
-	if len(kept) == 0 {
-		delete(inv.warm, fn)
+	if inv.warm[fn].pruneExpired(now) {
 		inv.noteWarmPool(fn, false)
-	} else {
-		inv.warm[fn] = kept
 	}
 }
 
 // noteWarmPool reconciles the cluster's warm index with this invoker's idle
 // pool for fn.
-func (inv *Invoker) noteWarmPool(fn string, present bool) {
+func (inv *Invoker) noteWarmPool(fn FnID, present bool) {
 	if inv.idx != nil {
 		inv.idx.warmPresence(fn, inv.ID, present)
 	}
 }
 
 // HasIdleWarm reports whether an idle warm container for fn exists at now.
-func (inv *Invoker) HasIdleWarm(fn string, now time.Duration) bool {
+func (inv *Invoker) HasIdleWarm(fn FnID, now time.Duration) bool {
 	inv.pruneWarm(fn, now)
-	return len(inv.warm[fn]) > 0
+	return int(fn) < len(inv.warm) && inv.warm[fn].n > 0
 }
 
 // IdleWarmCount returns the number of idle warm containers for fn at now.
-func (inv *Invoker) IdleWarmCount(fn string, now time.Duration) int {
+func (inv *Invoker) IdleWarmCount(fn FnID, now time.Duration) int {
 	inv.pruneWarm(fn, now)
-	return len(inv.warm[fn])
+	if int(fn) >= len(inv.warm) {
+		return 0
+	}
+	return inv.warm[fn].n
 }
 
 // HasContainer reports whether any container (idle or busy) for fn exists.
-func (inv *Invoker) HasContainer(fn string, now time.Duration) bool {
-	if inv.busy[fn] > 0 {
+func (inv *Invoker) HasContainer(fn FnID, now time.Duration) bool {
+	if int(fn) < len(inv.busy) && inv.busy[fn] > 0 {
 		return true
 	}
 	return inv.HasIdleWarm(fn, now)
 }
 
 // StartTask claims a container for a task of fn at now and reports whether
-// the start is warm. A warm start consumes an idle container; a cold start
-// creates a new (busy) container.
-func (inv *Invoker) StartTask(fn string, now time.Duration) (warm bool) {
-	inv.pruneWarm(fn, now)
-	pool := inv.warm[fn]
-	if len(pool) > 0 {
-		// Consume the container with the earliest expiry (oldest).
-		inv.warm[fn] = pool[1:]
-		if len(inv.warm[fn]) == 0 {
-			delete(inv.warm, fn)
+// the start is warm. A warm start consumes the idle container with the
+// earliest expiry (the oldest — the ring head); a cold start creates a new
+// (busy) container.
+func (inv *Invoker) StartTask(fn FnID, now time.Duration) (warm bool) {
+	inv.ensureFn(fn)
+	r := &inv.warm[fn]
+	if r.pruneExpired(now) {
+		inv.noteWarmPool(fn, false)
+	}
+	if r.n > 0 {
+		r.popFront()
+		if r.n == 0 {
 			inv.noteWarmPool(fn, false)
 		}
 		inv.busy[fn]++
@@ -181,29 +204,34 @@ func (inv *Invoker) StartTask(fn string, now time.Duration) (warm bool) {
 
 // FinishTask releases the task's container back to the idle pool at now,
 // with the configured keep-alive.
-func (inv *Invoker) FinishTask(fn string, now time.Duration) {
-	if inv.busy[fn] <= 0 {
-		panic(fmt.Sprintf("invoker %d: FinishTask(%s) without StartTask", inv.ID, fn))
+func (inv *Invoker) FinishTask(fn FnID, now time.Duration) {
+	inv.checkFn(fn)
+	if int(fn) >= len(inv.busy) || inv.busy[fn] <= 0 {
+		panic(fmt.Sprintf("invoker %d: FinishTask(fn %d) without StartTask", inv.ID, fn))
 	}
 	inv.busy[fn]--
 	if inv.idx != nil {
 		inv.idx.busyDelta(fn, -1)
 	}
-	inv.warm[fn] = append(inv.warm[fn], now+inv.keepAlive)
+	inv.warm[fn].push(now + inv.keepAlive)
 	inv.noteWarmPool(fn, true)
 }
 
 // AddWarm installs an idle warm container (the pre-warmer's effect) at now.
-func (inv *Invoker) AddWarm(fn string, now time.Duration) {
-	inv.pruneWarm(fn, now)
-	inv.warm[fn] = append(inv.warm[fn], now+inv.keepAlive)
+func (inv *Invoker) AddWarm(fn FnID, now time.Duration) {
+	inv.ensureFn(fn)
+	if inv.warm[fn].pruneExpired(now) {
+		inv.noteWarmPool(fn, false)
+	}
+	inv.warm[fn].push(now + inv.keepAlive)
 	inv.noteWarmPool(fn, true)
 }
 
 // BeginWarming marks a container of fn as being cold-started ahead of
 // demand; FinishWarming adds it to the idle pool when the cold start
 // completes.
-func (inv *Invoker) BeginWarming(fn string) {
+func (inv *Invoker) BeginWarming(fn FnID) {
+	inv.ensureFn(fn)
 	inv.warming[fn]++
 	if inv.warming[fn] == 1 && inv.idx != nil {
 		inv.idx.warmingDelta(fn, 1)
@@ -211,12 +239,16 @@ func (inv *Invoker) BeginWarming(fn string) {
 }
 
 // Warming reports whether a pre-warm of fn is in flight.
-func (inv *Invoker) Warming(fn string) bool { return inv.warming[fn] > 0 }
+func (inv *Invoker) Warming(fn FnID) bool {
+	inv.checkFn(fn)
+	return int(fn) < len(inv.warming) && inv.warming[fn] > 0
+}
 
 // FinishWarming completes an in-flight pre-warm at time now.
-func (inv *Invoker) FinishWarming(fn string, now time.Duration) {
-	if inv.warming[fn] <= 0 {
-		panic(fmt.Sprintf("invoker %d: FinishWarming(%s) without BeginWarming", inv.ID, fn))
+func (inv *Invoker) FinishWarming(fn FnID, now time.Duration) {
+	inv.checkFn(fn)
+	if int(fn) >= len(inv.warming) || inv.warming[fn] <= 0 {
+		panic(fmt.Sprintf("invoker %d: FinishWarming(fn %d) without BeginWarming", inv.ID, fn))
 	}
 	inv.warming[fn]--
 	if inv.warming[fn] == 0 && inv.idx != nil {
@@ -226,7 +258,13 @@ func (inv *Invoker) FinishWarming(fn string, now time.Duration) {
 }
 
 // BusyContainers returns the number of running containers for fn.
-func (inv *Invoker) BusyContainers(fn string) int { return inv.busy[fn] }
+func (inv *Invoker) BusyContainers(fn FnID) int {
+	inv.checkFn(fn)
+	if int(fn) >= len(inv.busy) {
+		return 0
+	}
+	return int(inv.busy[fn])
+}
 
 // FragmentationScore returns the free-GPU count — the quantity INFless and
 // FaST-GShare placement policies minimize (a smaller remainder means less

@@ -164,9 +164,12 @@ type Controller struct {
 	predictors  []*prewarm.Predictor
 	planners    []*prewarm.PoolPlanner
 	lastInvoker []int
-	// fnQueues maps a function name to the queues invoking it (pool
+	// fnQueues maps an interned FnID to the queues invoking it (pool
 	// demand for a function sums over them).
-	fnQueues map[string][]int
+	fnQueues [][]int
+	// fnProfiles resolves interned FnIDs to their registry profiles, so
+	// the dispatch hot path never probes the registry map.
+	fnProfiles []*profile.Function
 
 	// Round-robin cursor and recheck list.
 	cursor    int
@@ -223,6 +226,13 @@ func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error)
 		FixedOverhead: cfg.FixedOverhead,
 	}
 	qs := queue.NewSet(cfg.Apps)
+	qs.Bind(clu)
+	// Interning every registry function up front fixes the FnID space for
+	// the run (queue functions first, then the remaining registry names)
+	// and lets per-function state live in flat slices.
+	for _, name := range cfg.Registry.Names() {
+		clu.Intern(name)
+	}
 	c := &Controller{
 		cfg:         cfg,
 		scheduler:   s,
@@ -243,7 +253,11 @@ func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error)
 		}
 	}
 	c.planners = make([]*prewarm.PoolPlanner, len(qs.Queues))
-	c.fnQueues = make(map[string][]int)
+	c.fnQueues = make([][]int, clu.NumFns())
+	c.fnProfiles = make([]*profile.Function, clu.NumFns())
+	for id := range c.fnProfiles {
+		c.fnProfiles[id] = cfg.Registry.MustLookup(clu.FnName(cluster.FnID(id)))
+	}
 	c.lastAttempt = make([]recheckAttempt, len(qs.Queues))
 	c.lastOutcome = make([]dispatchStatus, len(qs.Queues))
 	for i := range c.lastOutcome {
@@ -254,7 +268,7 @@ func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error)
 		c.planners[i] = prewarm.NewPoolPlanner(cfg.PrewarmAlpha)
 		c.lastInvoker[i] = -1
 		q := qs.Queues[i]
-		c.fnQueues[q.Function] = append(c.fnQueues[q.Function], q.ID)
+		c.fnQueues[q.FnID] = append(c.fnQueues[q.FnID], q.ID)
 	}
 	return c, nil
 }
@@ -437,7 +451,7 @@ func (c *Controller) tryDispatch(q *queue.AFW, plan sched.Plan, forced bool) dis
 		}
 		if !forced && c.shouldDefer(q, inv) {
 			sawDefer = true
-			c.scaleOutWarm(q.Function, inv)
+			c.scaleOutWarm(q.FnID, inv)
 			continue
 		}
 		c.dispatch(q, cfg, inv, plan.Overhead, forced)
@@ -453,10 +467,10 @@ func (c *Controller) tryDispatch(q *queue.AFW, plan sched.Plan, forced bool) dis
 // wait for a busy or warming container instead.
 func (c *Controller) shouldDefer(q *queue.AFW, inv *cluster.Invoker) bool {
 	now := c.engine.Now()
-	if inv.HasIdleWarm(q.Function, now) {
+	if inv.HasIdleWarm(q.FnID, now) {
 		return false // warm start: go
 	}
-	if !c.clu.HasBusyOrWarming(q.Function) {
+	if !c.clu.HasBusyOrWarming(q.FnID) {
 		return false // nothing to wait for: cold start is the only path
 	}
 	cap := time.Duration(c.cfg.DeferFraction * float64(c.env.SLOs[q.AppIndex]))
@@ -466,11 +480,11 @@ func (c *Controller) shouldDefer(q *queue.AFW, inv *cluster.Invoker) bool {
 // scaleOutWarm starts one background container warm-up for fn on inv when
 // none is already in flight there — the pre-warming proxy's response to
 // sustained container pressure.
-func (c *Controller) scaleOutWarm(fn string, inv *cluster.Invoker) {
+func (c *Controller) scaleOutWarm(fn cluster.FnID, inv *cluster.Invoker) {
 	if c.cfg.DisablePrewarm || inv.Warming(fn) {
 		return
 	}
-	cold := c.cfg.Registry.MustLookup(fn).ColdStart
+	cold := c.fnProfiles[fn].ColdStart
 	invID := inv.ID
 	inv.BeginWarming(fn)
 	c.engine.After(cold, func() {
@@ -597,13 +611,13 @@ func (c *Controller) putJobBuf(buf []*queue.Job) {
 func (c *Controller) dispatch(q *queue.AFW, cfg profile.Config, inv *cluster.Invoker, overhead time.Duration, forced bool) {
 	now := c.engine.Now()
 	jobs := q.TakeAppend(c.getJobBuf(), cfg.Batch)
-	fn := c.cfg.Registry.MustLookup(q.Function)
+	fn := c.fnProfiles[q.FnID]
 	res := cfg.Resources()
 
 	if err := inv.Acquire(res, now); err != nil {
 		panic(err) // Place guaranteed fit; a failure is a scheduler bug
 	}
-	warm := inv.StartTask(q.Function, now)
+	warm := inv.StartTask(q.FnID, now)
 	var coldPenalty time.Duration
 	if !warm {
 		coldPenalty = fn.ColdStart
@@ -623,7 +637,7 @@ func (c *Controller) dispatch(q *queue.AFW, cfg profile.Config, inv *cluster.Inv
 	c.observeForPrewarm(q, inv, fn)
 	c.prewarmSuccessors(q, inv)
 	c.planners[q.ID].ObserveDispatch(now)
-	c.ensureWarmPool(q.Function)
+	c.ensureWarmPool(q.FnID)
 
 	total := overhead + held
 	c.engine.After(total, func() {
@@ -658,7 +672,7 @@ func (c *Controller) transferTime(q *queue.AFW, jobs []*queue.Job, inv *cluster.
 func (c *Controller) complete(q *queue.AFW, jobs []*queue.Job, cfg profile.Config, inv *cluster.Invoker, warm bool) {
 	now := c.engine.Now()
 	inv.Release(cfg.Resources(), now)
-	inv.FinishTask(q.Function, now)
+	inv.FinishTask(q.FnID, now)
 	c.running--
 	c.stateVersion++
 
@@ -695,7 +709,7 @@ func (c *Controller) seedWarmPools() {
 		entry := c.queues.Get(ai, app.Entry())
 		home := c.clu.HomeInvoker(sched.QueueKey(entry))
 		for st := 0; st < app.Len(); st++ {
-			home.AddWarm(app.Stage(st).Function, 0)
+			home.AddWarm(c.queues.Get(ai, st).FnID, 0)
 		}
 	}
 	if c.cfg.DisablePreload {
@@ -714,7 +728,7 @@ func (c *Controller) seedWarmPools() {
 	// transition into a batched equilibrium (longer queues, larger
 	// batches, fewer containers) during the measurement warm-up window.
 	nominal := profile.Config{Batch: 2, CPU: 4, GPU: 2}
-	needPerFn := make(map[string]float64)
+	needPerFn := make([]float64, c.clu.NumFns())
 	for _, q := range c.queues.Queues {
 		rate := float64(appJobs[q.AppIndex]) / dur.Seconds()
 		if rate <= 0 {
@@ -722,10 +736,11 @@ func (c *Controller) seedWarmPools() {
 		}
 		est := c.env.Oracle.Estimate(q.Function, nominal)
 		taskRate := rate / float64(nominal.Batch)
-		needPerFn[q.Function] += taskRate * est.Time.Seconds() * 1.5
+		needPerFn[q.FnID] += taskRate * est.Time.Seconds() * 1.5
 	}
 	next := 0
-	for _, fn := range c.cfg.Registry.Names() {
+	for _, name := range c.cfg.Registry.Names() {
+		fn := c.clu.Intern(name) // already interned at construction
 		need := int(needPerFn[fn]) + 1
 		if needPerFn[fn] == 0 {
 			continue
@@ -747,11 +762,11 @@ func (c *Controller) prewarmSuccessors(q *queue.AFW, inv *cluster.Invoker) {
 	}
 	now := c.engine.Now()
 	for _, succ := range q.App.Stage(q.Stage).Succs {
-		fn := q.App.Stage(succ).Function
+		fn := c.queues.Get(q.AppIndex, succ).FnID
 		if inv.HasContainer(fn, now) || inv.Warming(fn) {
 			continue
 		}
-		cold := c.cfg.Registry.MustLookup(fn).ColdStart
+		cold := c.fnProfiles[fn].ColdStart
 		invID := inv.ID
 		inv.BeginWarming(fn)
 		c.engine.After(cold, func() {
@@ -766,7 +781,7 @@ func (c *Controller) prewarmSuccessors(q *queue.AFW, inv *cluster.Invoker) {
 // observed demand (Little's law over the task stream, §4's pre-warming
 // proxy) and starts background warm-ups to cover any deficit, spreading
 // them over the invokers with the most free resources.
-func (c *Controller) ensureWarmPool(fn string) {
+func (c *Controller) ensureWarmPool(fn cluster.FnID) {
 	if c.cfg.DisablePrewarm {
 		return
 	}
@@ -786,7 +801,7 @@ func (c *Controller) ensureWarmPool(fn string) {
 	if deficit > len(c.clu.Invokers) {
 		deficit = len(c.clu.Invokers)
 	}
-	cold := c.cfg.Registry.MustLookup(fn).ColdStart
+	cold := c.fnProfiles[fn].ColdStart
 	for i := 0; i < deficit; i++ {
 		inv := c.pickWarmTarget(fn)
 		if inv == nil {
@@ -804,7 +819,7 @@ func (c *Controller) ensureWarmPool(fn string) {
 
 // pickWarmTarget chooses the invoker for a background warm-up: the one with
 // the most free GPU among those not already warming fn.
-func (c *Controller) pickWarmTarget(fn string) *cluster.Invoker {
+func (c *Controller) pickWarmTarget(fn cluster.FnID) *cluster.Invoker {
 	return c.clu.MostFreeNotWarming(fn)
 }
 
@@ -831,11 +846,11 @@ func (c *Controller) observeForPrewarm(q *queue.AFW, inv *cluster.Invoker, fn *p
 	c.engine.At(startAt, func() {
 		target := c.clu.Invokers[invID]
 		// Skip if a warm container already awaits the predicted call.
-		if target.HasIdleWarm(q.Function, c.engine.Now()) {
+		if target.HasIdleWarm(q.FnID, c.engine.Now()) {
 			return
 		}
 		c.engine.After(fn.ColdStart, func() {
-			c.clu.Invokers[invID].AddWarm(q.Function, c.engine.Now())
+			c.clu.Invokers[invID].AddWarm(q.FnID, c.engine.Now())
 			c.stateVersion++
 			c.requestPass()
 		})

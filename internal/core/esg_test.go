@@ -27,7 +27,9 @@ func schedEnv(t *testing.T, level workflow.SLOLevel) (*sched.Env, *queue.Set) {
 		Apps:     apps,
 		SLOs:     slos,
 	}
-	return env, queue.NewSet(apps)
+	qs := queue.NewSet(apps)
+	qs.Bind(env.Cluster)
+	return env, qs
 }
 
 func pushJobs(q *queue.AFW, app *workflow.App, appIdx, n int, arrival time.Duration, slo time.Duration) {

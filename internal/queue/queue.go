@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/esg-sched/esg/internal/cluster"
 	"github.com/esg-sched/esg/internal/profile"
 	"github.com/esg-sched/esg/internal/units"
 	"github.com/esg-sched/esg/internal/workflow"
@@ -145,6 +146,11 @@ type AFW struct {
 	App      *workflow.App
 	Stage    int
 	Function string
+	// FnID is the cluster-interned handle of Function, resolved by
+	// Set.Bind; the container APIs of the cluster layer are keyed by it.
+	// It is cluster.NoFn until bound (the cluster panics on unresolved
+	// handles rather than aliasing function 0).
+	FnID cluster.FnID
 	// Key is the precomputed home-invoker hash key of the queue (the
 	// OpenWhisk (namespace, action) analogue), so the dispatch hot path
 	// never re-formats it.
@@ -174,6 +180,7 @@ func NewAFW(id, appIndex int, app *workflow.App, stage int) *AFW {
 		App:      app,
 		Stage:    stage,
 		Function: app.Stage(stage).Function,
+		FnID:     cluster.NoFn,
 		Key:      KeyFor(app, stage),
 	}
 }
@@ -297,6 +304,16 @@ func NewSet(apps []*workflow.App) *Set {
 		}
 	}
 	return s
+}
+
+// Bind interns every queue's function name on c and stores the resolved
+// dense handles in the queues' FnID fields. Call it once after NewSet when
+// the queues will drive a cluster — the scheduling hot paths then speak
+// FnIDs and never resolve names again.
+func (s *Set) Bind(c *cluster.Cluster) {
+	for _, q := range s.Queues {
+		q.FnID = c.Intern(q.Function)
+	}
 }
 
 // Get returns the queue of (appIndex, stage).

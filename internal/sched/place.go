@@ -50,10 +50,10 @@ func LocalityPlace(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config
 	// A warm start dwarfs any transfer saving (cold starts run seconds,
 	// transfers milliseconds), so: preferred-and-warm, then any warm,
 	// then preferred-cold, then the most-free cold invoker.
-	if preferred != nil && preferred.CanFit(res) && preferred.HasIdleWarm(q.Function, now) {
+	if preferred != nil && preferred.CanFit(res) && preferred.HasIdleWarm(q.FnID, now) {
 		return preferred
 	}
-	if inv := env.Cluster.FirstWarmFit(q.Function, now, res); inv != nil {
+	if inv := env.Cluster.FirstWarmFit(q.FnID, now, res); inv != nil {
 		return inv
 	}
 	if preferred != nil && preferred.CanFit(res) {

@@ -29,7 +29,9 @@ func testEnv(t *testing.T) (*Env, *queue.Set) {
 		Apps:     apps,
 		SLOs:     slos,
 	}
-	return env, queue.NewSet(apps)
+	qs := queue.NewSet(apps)
+	qs.Bind(clu)
+	return env, qs
 }
 
 func TestMeanServiceSplit(t *testing.T) {
@@ -73,7 +75,7 @@ func TestLocalityPlaceEntryPrefersWarmHome(t *testing.T) {
 	env, qs := testEnv(t)
 	q := qs.Get(0, 0)
 	home := env.Cluster.HomeInvoker(QueueKey(q))
-	home.AddWarm(q.Function, 0)
+	home.AddWarm(q.FnID, 0)
 
 	cfg := profile.Config{Batch: 1, CPU: 2, GPU: 1}
 	inst := queue.NewInstance(0, 0, env.Apps[0], 0, time.Second)
@@ -89,7 +91,7 @@ func TestLocalityPlacePrefersAnyWarmOverColdHome(t *testing.T) {
 	q := qs.Get(0, 0)
 	home := env.Cluster.HomeInvoker(QueueKey(q))
 	other := env.Cluster.Invokers[(home.ID+5)%len(env.Cluster.Invokers)]
-	other.AddWarm(q.Function, 0)
+	other.AddWarm(q.FnID, 0)
 
 	cfg := profile.Config{Batch: 1, CPU: 2, GPU: 1}
 	inst := queue.NewInstance(0, 0, env.Apps[0], 0, time.Second)
@@ -105,7 +107,7 @@ func TestLocalityPlacePredecessorInvoker(t *testing.T) {
 	q := qs.Get(0, 1) // second stage of image classification
 	inst := queue.NewInstance(0, 0, env.Apps[0], 0, time.Second)
 	pred := env.Cluster.Invokers[9]
-	pred.AddWarm(q.Function, 0)
+	pred.AddWarm(q.FnID, 0)
 	inst.CompleteStage(0, pred.ID, time.Millisecond)
 	jobs := []*queue.Job{{Instance: inst, Stage: 1}}
 	cfg := profile.Config{Batch: 1, CPU: 2, GPU: 1}
