@@ -1,38 +1,20 @@
 // Command esgbench regenerates the tables and figures of the paper's
-// evaluation section (§5). Each subcommand reproduces one artifact; "all"
-// reproduces everything, sharing scenario runs across artifacts.
+// evaluation section (§5). Each target reproduces one artifact; "all"
+// reproduces everything, sharing scenario runs across artifacts, and
+// -scenario scale runs the production-scale stress family instead.
 //
-// Usage:
+// The authoritative flag reference is the binary's own -h output, defined
+// once in internal/cli (the README embeds the identical text and
+// scripts/checkdocs keeps the two in sync):
 //
-//	esgbench [flags] all
-//	esgbench [flags] table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sec53
-//	esgbench [flags] -scenario scale
+//	esgbench -h
 //
-// Flags:
-//
-//	-seed N       random seed (default 42)
-//	-scale F      trace-size multiplier; 1.0 is the full evaluation (default 1.0)
-//	-parallel N   worker-pool size for independent scenario runs (default 1;
-//	              0 = GOMAXPROCS). Results are byte-identical to -parallel 1
-//	              at the same seed when -overhead is not "measured".
-//	-plancache    enable the memoized ESG_1Q plan cache (per-run LRU)
-//	-overhead M   how scheduling overhead is charged: measured (paper
-//	              default, wall clock — run-dependent), none, or fixed
-//	-quiet        suppress per-scenario progress
-//	-scenario S   scenario family: paper (default) or scale — the
-//	              production-scale stress run (256 heterogeneous nodes,
-//	              100× the heavy arrival rate, 8 concurrent applications)
-//	-nodes N      scale scenario: invoker count (default 256)
-//	-load F       scale scenario: arrival-rate multiplier (default 100)
-//	-requests N   scale scenario: trace length (default 30000 × -scale)
-//	-replan F     scale scenario: re-plan pressure multiplier — divides the
-//	              2 ms scheduling quantum so queues are re-planned F× as
-//	              often (default 1)
-//	-cpuprofile P write a pprof CPU profile of the whole run to P
+// Artifacts on stdout are deterministic at a fixed seed (see README
+// "Determinism guarantee"); progress, cache counters and wall-time
+// summaries go to stderr.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -40,30 +22,20 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"github.com/esg-sched/esg/internal/cli"
 	"github.com/esg-sched/esg/internal/experiments"
 	"github.com/esg-sched/esg/internal/sched"
 )
 
 func main() {
-	var (
-		seed      = flag.Uint64("seed", 42, "random seed")
-		scale     = flag.Float64("scale", 1.0, "trace-size multiplier (1.0 = full evaluation)")
-		parallel  = flag.Int("parallel", 1, "scenario worker-pool size (0 = GOMAXPROCS)")
-		plancache = flag.Bool("plancache", false, "enable the memoized ESG_1Q plan cache")
-		overhead  = flag.String("overhead", "measured", "scheduling-overhead mode: measured|none|fixed")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
-		scenario  = flag.String("scenario", "paper", "scenario family: paper (the §5 artifacts) or scale (256 nodes, 100× load, 8 apps)")
-		nodes     = flag.Int("nodes", 0, "scale scenario: invoker count (default 256)")
-		load      = flag.Float64("load", 0, "scale scenario: arrival-rate multiplier over heavy (default 100)")
-		requests  = flag.Int("requests", 0, "scale scenario: trace length (default 30000 × -scale)")
-		replan    = flag.Float64("replan", 0, "scale scenario: re-plan pressure multiplier — divides the 2 ms scheduling quantum (default 1)")
-		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-	)
-	flag.Parse()
+	var opts cli.Options
+	fs := cli.NewFlagSet(&opts)
+	fs.Usage = func() { fmt.Fprint(os.Stderr, cli.UsageText()) }
+	fs.Parse(os.Args[1:]) // ExitOnError: parse failures and -h exit here
 
 	stopProfile := func() {}
-	if *cpuprof != "" {
-		f, err := os.Create(*cpuprof)
+	if opts.CPUProfile != "" {
+		f, err := os.Create(opts.CPUProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "esgbench: -cpuprofile: %v\n", err)
 			os.Exit(1)
@@ -82,21 +54,21 @@ func main() {
 		defer stopProfile()
 	}
 
-	targets := flag.Args()
+	targets := fs.Args()
 	if len(targets) == 1 && targets[0] == "all" {
 		targets = []string{"table1", "table3", "fig5", "fig6", "fig7", "fig8",
 			"table4", "fig9", "fig10", "fig11", "fig12", "sec53"}
 	}
-	if *scenario == "scale" && !contains(targets, "scale") {
+	if opts.Scenario == "scale" && !contains(targets, "scale") {
 		targets = append(targets, "scale") // keep any explicit targets
 	}
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53 scale")
+		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53 scale (run esgbench -h for flags)")
 		os.Exit(2)
 	}
 
-	r := experiments.NewRunner(*seed, *scale)
-	switch *overhead {
+	r := experiments.NewRunner(opts.Seed, opts.Scale)
+	switch opts.Overhead {
 	case "measured":
 		r.Overhead = sched.OverheadMeasured
 	case "none":
@@ -104,19 +76,20 @@ func main() {
 	case "fixed":
 		r.Overhead = sched.OverheadFixed
 	default:
-		fmt.Fprintf(os.Stderr, "esgbench: unknown -overhead %q (want measured, none or fixed)\n", *overhead)
+		fmt.Fprintf(os.Stderr, "esgbench: unknown -overhead %q (want measured, none or fixed)\n", opts.Overhead)
 		os.Exit(2)
 	}
-	r.Parallel = *parallel
+	r.Parallel = opts.Parallel
 	if r.Parallel <= 0 {
 		r.Parallel = runtime.GOMAXPROCS(0)
 	}
-	r.PlanCache = *plancache
+	r.PlanCache = opts.PlanCache
+	r.DisableBaselineMemo = !opts.BaselineMemo
 	// Zero fields select ScaleScenario's defaults (256 nodes, 100×,
 	// 30000 × -scale requests, the adaptive schedulers).
-	scaleSpec = experiments.ScaleSpec{Nodes: *nodes, LoadFactor: *load, Requests: *requests, Replan: *replan}
+	scaleSpec = experiments.ScaleSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Replan: opts.Replan}
 	var progress io.Writer = os.Stderr
-	if *quiet {
+	if opts.Quiet {
 		progress = nil
 	}
 	r.Log = progress
@@ -153,8 +126,8 @@ func contains(list []string, s string) bool {
 	return false
 }
 
-// scaleSpec carries the -nodes/-load/-requests overrides of the scale
-// scenario (zero fields select the defaults).
+// scaleSpec carries the -nodes/-load/-requests/-replan overrides of the
+// scale scenario (zero fields select the defaults).
 var scaleSpec experiments.ScaleSpec
 
 func run(r *experiments.Runner, target string) (*experiments.Table, error) {
@@ -186,6 +159,6 @@ func run(r *experiments.Runner, target string) (*experiments.Table, error) {
 	case "sec53":
 		return experiments.Sec53(), nil
 	default:
-		return nil, fmt.Errorf("unknown target (want all, table1, table3, table4, fig5..fig12, sec53)")
+		return nil, fmt.Errorf("unknown target (want all, table1, table3, table4, fig5..fig12, sec53, scale)")
 	}
 }

@@ -10,37 +10,33 @@ import (
 	"sort"
 	"time"
 
+	"github.com/esg-sched/esg/internal/baselines"
 	"github.com/esg-sched/esg/internal/cluster"
 	"github.com/esg-sched/esg/internal/profile"
 	"github.com/esg-sched/esg/internal/queue"
 	"github.com/esg-sched/esg/internal/sched"
 )
 
-// Scheduler is the FaST-GShare baseline.
+// Scheduler is the FaST-GShare baseline. The embedded MemoHost carries
+// the shared baseline plan-memo layer (see package baselines and the
+// INFless twin) — the ranking is a pure function of which batch options
+// fit, so memoization changes no candidate, only skips the per-Plan
+// enumeration and sort.
 type Scheduler struct {
+	baselines.MemoHost
+
 	// MaxCandidates bounds the plan's fallback list (default 5).
 	MaxCandidates int
 
 	splits map[int][]time.Duration
-	// ranked memoizes the sorted candidate list per (app, stage,
-	// quantized queue bound); see the INFless twin — the ranking is a
-	// pure function of which batch options fit, so memoization changes
-	// no candidate, only skips the per-Plan enumeration and sort.
-	ranked map[planKey][]profile.Config
-}
-
-// planKey locates one memoized candidate ranking.
-type planKey struct {
-	app, stage int
-	maxBatch   int // FunctionTable.QuantizeBatchBound of the queue length
 }
 
 // New returns a FaST-GShare scheduler.
 func New() *Scheduler {
 	return &Scheduler{
+		MemoHost:      baselines.NewMemoHost(),
 		MaxCandidates: 5,
 		splits:        make(map[int][]time.Duration),
-		ranked:        make(map[planKey][]profile.Config),
 	}
 }
 
@@ -63,8 +59,9 @@ func (s *Scheduler) stageBudget(env *sched.Env, q *queue.AFW) time.Duration {
 func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 	sw := sched.StartStopwatch(env)
 	table := env.StageTable(q.AppIndex, q.Stage)
-	key := planKey{app: q.AppIndex, stage: q.Stage, maxBatch: table.QuantizeBatchBound(q.Len())}
-	if cands, ok := s.ranked[key]; ok {
+	memo := s.PlanMemo()
+	key := baselines.Key{App: q.AppIndex, Stage: q.Stage, MaxBatch: table.QuantizeBatchBound(q.Len())}
+	if cands, ok := memo.Lookup(key); ok {
 		return sched.Plan{Candidates: cands, Overhead: sw.Elapsed()}
 	}
 	budget := s.stageBudget(env, q)
@@ -83,7 +80,7 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 		if len(ests) > 0 {
 			plan.Candidates = []profile.Config{ests[0].Config}
 		}
-		s.ranked[key] = plan.Candidates
+		plan.Candidates = memo.Store(key, plan.Candidates)
 		return plan
 	}
 	sort.SliceStable(feasible, func(i, j int) bool {
@@ -96,7 +93,7 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 	for i := 0; i < len(feasible) && i < max; i++ {
 		plan.Candidates = append(plan.Candidates, feasible[i].Config)
 	}
-	s.ranked[key] = plan.Candidates
+	plan.Candidates = memo.Store(key, plan.Candidates)
 	return plan
 }
 
@@ -104,7 +101,9 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 // objective: squeeze the GPU share first (fewest vGPUs), then the vCPUs,
 // then run as slowly as the stage deadline allows — the smallest
 // spatio-temporal GPU slice that still fits the budget. This is what makes
-// FaST-GShare cheap but "always yield the largest latency" (§5.1).
+// FaST-GShare cheap but "always yield the largest latency" (§5.1). The
+// final ConfigLess tie-break makes the order total over estimate content
+// (the memoized-reuse contract, see package baselines).
 func fastGShareBetter(a, b profile.Estimate) bool {
 	if a.Config.GPU != b.Config.GPU {
 		return a.Config.GPU < b.Config.GPU
@@ -115,7 +114,10 @@ func fastGShareBetter(a, b profile.Estimate) bool {
 	if a.Time != b.Time {
 		return a.Time > b.Time
 	}
-	return a.JobCost < b.JobCost
+	if a.JobCost != b.JobCost {
+		return a.JobCost < b.JobCost
+	}
+	return baselines.ConfigLess(a.Config, b.Config)
 }
 
 // Place implements sched.Scheduler with GPU-fragmentation-minimizing

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/esg-sched/esg/internal/baselines"
 	"github.com/esg-sched/esg/internal/cluster"
 	"github.com/esg-sched/esg/internal/profile"
 	"github.com/esg-sched/esg/internal/queue"
@@ -17,32 +18,27 @@ import (
 	"github.com/esg-sched/esg/internal/units"
 )
 
-// Scheduler is the INFless baseline.
+// Scheduler is the INFless baseline. The embedded MemoHost carries the
+// shared baseline plan-memo layer (see package baselines): the ranking
+// depends on the queue only through which batch options fit, so every
+// queue length in a quantized bucket reproduces the identical list —
+// memoizing skips the per-Plan enumeration and sort without changing a
+// single candidate.
 type Scheduler struct {
+	baselines.MemoHost
+
 	// MaxCandidates bounds the plan's fallback list (default 5).
 	MaxCandidates int
 
 	splits map[int][]time.Duration
-	// ranked memoizes the sorted candidate list per (app, stage,
-	// quantized queue bound): the ranking depends on the queue only
-	// through which batch options fit, so every queue length in a bucket
-	// reproduces the identical list — memoizing skips the per-Plan
-	// enumeration and stable sort without changing a single candidate.
-	ranked map[planKey][]profile.Config
-}
-
-// planKey locates one memoized candidate ranking.
-type planKey struct {
-	app, stage int
-	maxBatch   int // FunctionTable.QuantizeBatchBound of the queue length
 }
 
 // New returns an INFless scheduler.
 func New() *Scheduler {
 	return &Scheduler{
+		MemoHost:      baselines.NewMemoHost(),
 		MaxCandidates: 5,
 		splits:        make(map[int][]time.Duration),
-		ranked:        make(map[planKey][]profile.Config),
 	}
 }
 
@@ -65,8 +61,9 @@ func (s *Scheduler) stageBudget(env *sched.Env, q *queue.AFW) time.Duration {
 func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 	sw := sched.StartStopwatch(env)
 	table := env.StageTable(q.AppIndex, q.Stage)
-	key := planKey{app: q.AppIndex, stage: q.Stage, maxBatch: table.QuantizeBatchBound(q.Len())}
-	if cands, ok := s.ranked[key]; ok {
+	memo := s.PlanMemo()
+	key := baselines.Key{App: q.AppIndex, Stage: q.Stage, MaxBatch: table.QuantizeBatchBound(q.Len())}
+	if cands, ok := memo.Lookup(key); ok {
 		return sched.Plan{Candidates: cands, Overhead: sw.Elapsed()}
 	}
 	budget := s.stageBudget(env, q)
@@ -86,7 +83,7 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 		if len(ests) > 0 {
 			plan.Candidates = []profile.Config{ests[0].Config}
 		}
-		s.ranked[key] = plan.Candidates
+		plan.Candidates = memo.Store(key, plan.Candidates)
 		return plan
 	}
 	nodeCap := units.Resources{CPU: env.Cluster.Cfg.NodeCPU, GPU: env.Cluster.Cfg.NodeGPU}
@@ -107,7 +104,7 @@ func (s *Scheduler) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.
 	for i := 0; i < len(feasible) && i < max; i++ {
 		plan.Candidates = append(plan.Candidates, feasible[i].Config)
 	}
-	s.ranked[key] = plan.Candidates
+	plan.Candidates = memo.Store(key, plan.Candidates)
 	return plan
 }
 
@@ -123,7 +120,9 @@ const tierWindow = 0.5
 // within the top tier by speed and then by generous allocation
 // ("preferring to utilize all remaining resources in one invoker", §5.1).
 // The speed/allocation preference inside the tier is what drives INFless's
-// low latencies and highest resource costs.
+// low latencies and highest resource costs. The final ConfigLess tie-break
+// makes the order total over estimate content (the memoized-reuse
+// contract, see package baselines).
 func inflessBetter(a, b profile.Estimate, nodeCap units.Resources, tier float64) bool {
 	ea, eb := nodeEfficiency(a, nodeCap), nodeEfficiency(b, nodeCap)
 	ia, ib := ea >= tier, eb >= tier
@@ -131,7 +130,19 @@ func inflessBetter(a, b profile.Estimate, nodeCap units.Resources, tier float64)
 		return ia
 	}
 	if !ia {
-		return ea > eb
+		if ea != eb {
+			return ea > eb
+		}
+		// Equal-efficiency pairs below the tier: order by the same
+		// (time, job cost, config) content the latency-ascending input
+		// is sorted by, so the total order keeps the stable result.
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.JobCost != b.JobCost {
+			return a.JobCost < b.JobCost
+		}
+		return baselines.ConfigLess(a.Config, b.Config)
 	}
 	if a.Time != b.Time {
 		return a.Time < b.Time
@@ -143,7 +154,10 @@ func inflessBetter(a, b profile.Estimate, nodeCap units.Resources, tier float64)
 	if a.Config.CPU != b.Config.CPU {
 		return a.Config.CPU > b.Config.CPU
 	}
-	return a.JobCost < b.JobCost
+	if a.JobCost != b.JobCost {
+		return a.JobCost < b.JobCost
+	}
+	return baselines.ConfigLess(a.Config, b.Config)
 }
 
 // nodeEfficiency is jobs per second per consumed node fraction.

@@ -1,0 +1,74 @@
+// Package cli defines cmd/esgbench's flag surface in one place, so the
+// binary's -h output, the README's flag reference and the docs checker can
+// never drift: the README embeds UsageText verbatim and scripts/checkdocs
+// fails CI when it differs (run `go run ./scripts/checkdocs -fix` to
+// regenerate the embedded block).
+package cli
+
+import (
+	"flag"
+	"strings"
+)
+
+// Options carries every esgbench flag. Zero values of the scale-scenario
+// knobs (Nodes, Load, Requests, Replan) select ScaleScenario's defaults.
+type Options struct {
+	Seed         uint64
+	Scale        float64
+	Parallel     int
+	PlanCache    bool
+	BaselineMemo bool
+	Overhead     string
+	Quiet        bool
+	Scenario     string
+	Nodes        int
+	Load         float64
+	Requests     int
+	Replan       float64
+	CPUProfile   string
+}
+
+// synopsis heads the help text; the flag defaults below it are printed by
+// the flag package itself, so they are always the binary's real defaults.
+const synopsis = `usage: esgbench [flags] all
+       esgbench [flags] table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sec53
+       esgbench [flags] -scenario scale
+
+Targets name the paper's §5 artifacts to regenerate ("all" expands to every
+one of them); -scenario scale instead runs the production-scale stress
+family (see the -scenario flag). Flags:
+
+`
+
+// NewFlagSet binds every esgbench flag to o and returns the flag set
+// (flag.ExitOnError, so -h prints the usage and exits 0).
+func NewFlagSet(o *Options) *flag.FlagSet {
+	fs := flag.NewFlagSet("esgbench", flag.ExitOnError)
+	fs.Uint64Var(&o.Seed, "seed", 42, "random seed; every random stream (traces, noise, offline training) derives from it")
+	fs.Float64Var(&o.Scale, "scale", 1.0, "trace-size multiplier; 1.0 is the full evaluation")
+	fs.IntVar(&o.Parallel, "parallel", 1, "worker-pool size for independent scenario runs (0 = GOMAXPROCS); output is byte-identical to -parallel 1 at the same seed when -overhead is not \"measured\"")
+	fs.BoolVar(&o.PlanCache, "plancache", false, "enable the memoized ESG_1Q plan cache (per-run LRU, default capacity 4096, 5ms GSLO buckets; exact/interval/resume reuse tiers)")
+	fs.BoolVar(&o.BaselineMemo, "baselinememo", true, "keep the always-on baseline plan memo (INFless/FaST-GShare candidate rankings); -baselinememo=false re-ranks on every Plan call — the un-memoized reference for A/B equivalence and benchmarking, byte-identical output")
+	fs.StringVar(&o.Overhead, "overhead", "measured", "how scheduling overhead is charged on the simulated clock: measured (paper default, wall clock — run-dependent), none, or fixed")
+	fs.BoolVar(&o.Quiet, "quiet", false, "suppress per-scenario progress and counter summaries on stderr")
+	fs.StringVar(&o.Scenario, "scenario", "paper", "scenario family: paper (the §5 artifacts) or scale — the production-scale stress run (256 heterogeneous nodes, 100x the heavy arrival rate, 8 concurrent applications)")
+	fs.IntVar(&o.Nodes, "nodes", 0, "scale scenario: invoker count (default 256)")
+	fs.Float64Var(&o.Load, "load", 0, "scale scenario: arrival-rate multiplier over heavy (default 100)")
+	fs.IntVar(&o.Requests, "requests", 0, "scale scenario: trace length (default 30000 x -scale)")
+	fs.Float64Var(&o.Replan, "replan", 0, "scale scenario: re-plan pressure multiplier — divides the 2ms scheduling quantum so queues are re-planned that much more often (default 1)")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	return fs
+}
+
+// UsageText renders the canonical esgbench help text: the synopsis plus
+// the flag package's own rendering of every flag and default. This is the
+// single source of truth the README block is generated from.
+func UsageText() string {
+	var o Options
+	fs := NewFlagSet(&o)
+	var sb strings.Builder
+	sb.WriteString(synopsis)
+	fs.SetOutput(&sb)
+	fs.PrintDefaults()
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	var o Options
+	fs := NewFlagSet(&o)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Seed != 42 || o.Scale != 1.0 || o.Parallel != 1 {
+		t.Errorf("core defaults wrong: %+v", o)
+	}
+	if !o.BaselineMemo {
+		t.Error("the baseline memo must default to on")
+	}
+	if o.PlanCache {
+		t.Error("the ESG plan cache must default to off (opt-in)")
+	}
+	if o.Overhead != "measured" || o.Scenario != "paper" {
+		t.Errorf("mode defaults wrong: %+v", o)
+	}
+	if o.Nodes != 0 || o.Load != 0 || o.Requests != 0 || o.Replan != 0 {
+		t.Errorf("scale-knob zero values must defer to ScaleScenario defaults: %+v", o)
+	}
+}
+
+func TestParseOverrides(t *testing.T) {
+	var o Options
+	fs := NewFlagSet(&o)
+	err := fs.Parse([]string{"-seed", "7", "-baselinememo=false", "-replan", "4", "-scenario", "scale", "scale"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Seed != 7 || o.BaselineMemo || o.Replan != 4 || o.Scenario != "scale" {
+		t.Errorf("overrides not applied: %+v", o)
+	}
+	if got := fs.Args(); len(got) != 1 || got[0] != "scale" {
+		t.Errorf("positional targets = %v", got)
+	}
+}
+
+// TestUsageTextCoversEveryFlag guards the single-source-of-truth property:
+// a flag added to NewFlagSet shows up in the canonical help text (and so,
+// via scripts/checkdocs, in the README) automatically.
+func TestUsageTextCoversEveryFlag(t *testing.T) {
+	text := UsageText()
+	var o Options
+	fs := NewFlagSet(&o)
+	for _, name := range []string{"seed", "scale", "parallel", "plancache", "baselinememo",
+		"overhead", "quiet", "scenario", "nodes", "load", "requests", "replan", "cpuprofile"} {
+		if !strings.Contains(text, "-"+name) {
+			t.Errorf("usage text missing flag -%s", name)
+		}
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag set missing -%s", name)
+		}
+	}
+	if !strings.Contains(text, "usage: esgbench") {
+		t.Error("usage text missing synopsis")
+	}
+}

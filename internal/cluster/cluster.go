@@ -1,8 +1,3 @@
-// Package cluster models the invoker fleet of the emulated serverless
-// platform (§4: 16 nodes, each with 16 vCPUs and one A100 GPU partitioned
-// into 7 MIG vGPUs): per-node resource ledgers, container lifecycle with
-// cold/warm starts and the OpenWhisk 10-minute keep-alive, and the
-// data-locality transfer model (local filesystem vs remote storage).
 package cluster
 
 import (

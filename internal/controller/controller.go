@@ -80,9 +80,12 @@ type Config struct {
 	// which jobs batch up — beats spawning one.
 	DeferFraction float64
 
-	// PlanCache enables the scheduler's memoized plan search when the
-	// scheduler supports one (sched.PlanCaching — ESG's plan cache).
-	// Schedulers without a cache run unchanged.
+	// PlanCache enables the scheduler's optional memoized plan search
+	// when the scheduler supports one (sched.PlanCaching — ESG's plan
+	// cache). Schedulers without an optional cache run unchanged: the
+	// baselines' plan memo is structural and always on, so for them this
+	// flag is a no-op and their hit/cold counters are reported with the
+	// run's metrics either way.
 	PlanCache bool
 	// PlanCacheSize bounds the number of cached plans (0 = default).
 	PlanCacheSize int

@@ -1,0 +1,165 @@
+// Package docs keeps the repository's documentation verifiably fresh: it
+// resolves every relative markdown link in ARCHITECTURE.md (and the
+// README) against the working tree, greps linked Go files for the symbols
+// named in link text, and pins the README's embedded esgbench usage block
+// to internal/cli's canonical UsageText. scripts/checkdocs runs these
+// checks in CI (and regenerates the usage block with -fix); the package's
+// own tests run them on every `go test`.
+package docs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"github.com/esg-sched/esg/internal/cli"
+)
+
+// CheckedFiles are the markdown files whose links must resolve.
+var CheckedFiles = []string{"ARCHITECTURE.md", "README.md"}
+
+// linkRE matches inline markdown links: [text](target).
+var linkRE = regexp.MustCompile(`\[([^\]]+)\]\(([^)\s]+)\)`)
+
+// symbolTextRE matches link text that names a code symbol — a backticked
+// dotted identifier chain like `core.PlanCache` or `Searcher.Resume`.
+var symbolTextRE = regexp.MustCompile("^`([A-Za-z_][A-Za-z0-9_]*(?:\\.[A-Za-z_][A-Za-z0-9_]*)*)`$")
+
+// fileExtSegments are final identifier segments that mean the link text is
+// a file name (`esg.go`, `ci.yml`), not a symbol reference.
+var fileExtSegments = map[string]bool{"go": true, "md": true, "yml": true, "yaml": true, "json": true}
+
+// Check runs every documentation check against the repository rooted at
+// root and returns the problems found (empty means fresh).
+func Check(root string) []error {
+	var errs []error
+	for _, f := range CheckedFiles {
+		errs = append(errs, checkLinks(root, f)...)
+	}
+	errs = append(errs, checkReadmeMentionsArchitecture(root)...)
+	errs = append(errs, checkUsageBlock(root)...)
+	return errs
+}
+
+// checkLinks verifies every relative link target in file exists, and — for
+// symbol-shaped link text pointing at a Go file — that the symbol's final
+// segment still appears in that file.
+func checkLinks(root, file string) []error {
+	data, err := os.ReadFile(filepath.Join(root, file))
+	if err != nil {
+		return []error{fmt.Errorf("%s: %v", file, err)}
+	}
+	var errs []error
+	for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+		text, target := m[1], m[2]
+		if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+			strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		// Links in root-level markdown resolve relative to the root.
+		path := filepath.Join(root, filepath.FromSlash(target))
+		if _, err := os.Stat(path); err != nil {
+			errs = append(errs, fmt.Errorf("%s: link %q -> %q does not resolve", file, text, target))
+			continue
+		}
+		if sym := symbolFor(text); sym != "" && strings.HasSuffix(target, ".go") {
+			content, err := os.ReadFile(path)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s: link %q -> %q: %v", file, text, target, err))
+				continue
+			}
+			wordRE := regexp.MustCompile(`\b` + regexp.QuoteMeta(sym) + `\b`)
+			if !wordRE.Match(content) {
+				errs = append(errs, fmt.Errorf("%s: link %q -> %q: symbol %q not found in target", file, text, target, sym))
+			}
+		}
+	}
+	return errs
+}
+
+// symbolFor extracts the symbol to grep for from a link's text: the final
+// segment of a backticked dotted identifier chain, or "" when the text is
+// not symbol-shaped (plain prose, paths, file names).
+func symbolFor(text string) string {
+	m := symbolTextRE.FindStringSubmatch(text)
+	if m == nil {
+		return ""
+	}
+	segs := strings.Split(m[1], ".")
+	last := segs[len(segs)-1]
+	if fileExtSegments[last] {
+		return ""
+	}
+	return last
+}
+
+func checkReadmeMentionsArchitecture(root string) []error {
+	data, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return []error{fmt.Errorf("README.md: %v", err)}
+	}
+	if !strings.Contains(string(data), "](ARCHITECTURE.md)") {
+		return []error{fmt.Errorf("README.md: no link to ARCHITECTURE.md")}
+	}
+	return nil
+}
+
+// Usage-block markers. Everything between them in the README is generated
+// from internal/cli.UsageText by `go run ./scripts/checkdocs -fix`.
+const (
+	usageBegin = "<!-- esgbench-usage:begin -->"
+	usageEnd   = "<!-- esgbench-usage:end -->"
+)
+
+// RenderUsageBlock returns the canonical README block: markers around the
+// binary's -h output in a fenced code block.
+func RenderUsageBlock() string {
+	return usageBegin + "\n```text\n" + cli.UsageText() + "```\n" + usageEnd
+}
+
+// checkUsageBlock verifies the README embeds the canonical usage block
+// verbatim, so flag defaults documented in the README are always the
+// binary's real defaults.
+func checkUsageBlock(root string) []error {
+	data, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return []error{fmt.Errorf("README.md: %v", err)}
+	}
+	s := string(data)
+	begin := strings.Index(s, usageBegin)
+	end := strings.Index(s, usageEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return []error{fmt.Errorf("README.md: esgbench usage markers missing (%s ... %s)", usageBegin, usageEnd)}
+	}
+	got := s[begin : end+len(usageEnd)]
+	if got != RenderUsageBlock() {
+		return []error{fmt.Errorf("README.md: embedded esgbench usage drifted from internal/cli.UsageText — run `go run ./scripts/checkdocs -fix`")}
+	}
+	return nil
+}
+
+// FixUsageBlock rewrites the README's usage block from the canonical
+// source, returning whether the file changed.
+func FixUsageBlock(root string) (bool, error) {
+	path := filepath.Join(root, "README.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	s := string(data)
+	begin := strings.Index(s, usageBegin)
+	end := strings.Index(s, usageEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return false, fmt.Errorf("README.md: esgbench usage markers missing")
+	}
+	fixed := s[:begin] + RenderUsageBlock() + s[end+len(usageEnd):]
+	if fixed == s {
+		return false, nil
+	}
+	return true, os.WriteFile(path, []byte(fixed), 0o644)
+}

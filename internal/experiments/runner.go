@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/esg-sched/esg/internal/baselines"
 	"github.com/esg-sched/esg/internal/baselines/aquatope"
 	"github.com/esg-sched/esg/internal/controller"
 	"github.com/esg-sched/esg/internal/metrics"
@@ -76,6 +77,12 @@ type Runner struct {
 	PlanCache bool
 	// PlanCacheSize bounds the per-run cache (0 = default).
 	PlanCacheSize int
+	// DisableBaselineMemo turns the always-on baseline plan memo
+	// (INFless/FaST-GShare candidate rankings, see internal/baselines)
+	// off for the runner's cells — the un-memoized reference path for
+	// A/B equivalence runs and benchmarking (esgbench
+	// -baselinememo=false). Output is byte-identical either way.
+	DisableBaselineMemo bool
 
 	mu     sync.Mutex
 	states map[string]*cellState
@@ -163,6 +170,11 @@ func (r *Runner) ComparisonCell(name string, level workload.Level, slo workflow.
 			s, err := NewScheduler(name, r.Seed)
 			if aq, ok := s.(*aquatope.Scheduler); ok {
 				aq.Memo = r.aquatopeMemo
+			}
+			if r.DisableBaselineMemo {
+				if mu, ok := s.(baselines.MemoUser); ok {
+					mu.PlanMemo().Disable()
+				}
 			}
 			return s, err
 		},

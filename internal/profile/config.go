@@ -1,12 +1,3 @@
-// Package profile models serverless-function performance: configuration
-// spaces over (batch size, #vCPUs, #vGPUs), the six DNN functions of the
-// paper's Table 3, an analytic execution-time model calibrated to those
-// measurements, and the Gaussian noise applied by the emulator.
-//
-// Schedulers consume an Oracle — a precomputed table of (config → time,
-// cost) estimates per function — exactly the "performance profiles of the
-// functions" the paper's Controller uses to estimate path times and costs
-// (§3.3, Fig. 3).
 package profile
 
 import (

@@ -1,0 +1,31 @@
+// Package profile models serverless-function performance: configuration
+// spaces over (batch size, #vCPUs, #vGPUs), the six DNN functions of the
+// paper's Table 3, an analytic execution-time model calibrated to those
+// measurements, and the Gaussian noise applied by the emulator.
+//
+// Schedulers consume an Oracle — a precomputed table of (config → time,
+// cost) estimates per function — exactly the "performance profiles of the
+// functions" the paper's Controller uses to estimate path times and costs
+// (§3.3, Fig. 3).
+//
+// Invariants:
+//
+//   - Oracle tables are immutable once built. NewOracle precomputes every
+//     FunctionTable (latency- and cost-sorted estimate views, extrema,
+//     the batch-bound lookup array) and nothing mutates them afterwards —
+//     that immutability is what lets every memo layer in the repository
+//     (ESG's PlanCache, the baseline plan memo, Aquatope's training
+//     memo) reuse derived results without invalidation within a run.
+//   - Table views are content-sorted with deterministic ties: ByLatency
+//     orders by (time, job cost) and ByJobCost by (job cost, time), both
+//     stable over the space's deterministic enumeration order, so every
+//     consumer iterating a table sees one reproducible order.
+//   - QuantizeBatchBound is exact, not approximate: every queue-length
+//     bound in a quantized bucket admits the identical configuration
+//     subset. The precomputed lookup array answers in O(1); bounds past
+//     the array fall back to the constant the search would return, and
+//     hand-assembled tables fall back to the search itself — the array
+//     is pinned against the search over the full range in tests.
+//   - The execution model is deterministic; all run-to-run variation
+//     comes from Noise, which draws from an explicitly seeded stream.
+package profile

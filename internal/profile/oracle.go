@@ -38,6 +38,15 @@ type FunctionTable struct {
 	// FastestJobCost is the per-job cost of the fastest configuration —
 	// used by the rscFastest bound in dual-blade pruning.
 	FastestJobCost units.Money
+
+	// batchBound is the precomputed QuantizeBatchBound answer per queue
+	// bound: batchBound[b] is the largest batch option <= b, for b in
+	// [0, maxOption). The array stops at the largest option because every
+	// bound at or past it quantizes to 0 ("unbounded") — the past-the-array
+	// fallback is a constant, not an approximation. Tables built outside
+	// buildTable (nil batchBound) fall back to the linear search, so the
+	// lookup is an optimization, never a behavioral fork.
+	batchBound []int
 }
 
 // Oracle binds a registry of functions, a configuration space and a pricing
@@ -96,8 +105,34 @@ func buildTable(fn *Function, space Space, pm pricing.Model) *FunctionTable {
 		MinTime:        byLat[0].Time,
 		MinJobCost:     byCost[0].JobCost,
 		FastestJobCost: byLat[0].JobCost,
+		batchBound:     buildBatchBoundLUT(byLat),
 	}
 	return ft
+}
+
+// buildBatchBoundLUT precomputes quantizeBatchBoundSearch for every bound
+// below the table's largest batch option. ESG's plan cache, the oracle's
+// callers and the baseline memos all quantize the queue length on every
+// Plan call, which made the linear search the hottest flat profile line of
+// the scale scenario; the array answers in O(1).
+func buildBatchBoundLUT(ests []Estimate) []int {
+	max := 0
+	for _, e := range ests {
+		if e.Config.Batch > max {
+			max = e.Config.Batch
+		}
+	}
+	lut := make([]int, max)
+	for b := 1; b < max; b++ {
+		best := 0
+		for _, e := range ests {
+			if opt := e.Config.Batch; opt <= b && opt > best {
+				best = opt
+			}
+		}
+		lut[b] = best
+	}
+	return lut
 }
 
 // Table returns the profile table of the named function.
@@ -155,12 +190,30 @@ func filterBatch(ests []Estimate, maxBatch int) []Estimate {
 // largest option (and non-positive bounds) map to 0 ("unbounded"): the
 // filtered list is identical for all of them. Plan memoizers key on this
 // instead of the raw queue length.
+//
+// Oracle-built tables answer from the precomputed batchBound array; bounds
+// past the array fall back to the constant 0 the search would return, and
+// hand-assembled tables (nil array) fall back to the search itself.
 func (ft *FunctionTable) QuantizeBatchBound(bound int) int {
 	if bound <= 0 {
 		return 0
 	}
+	if lut := ft.batchBound; lut != nil {
+		if bound >= len(lut) {
+			return 0
+		}
+		return lut[bound]
+	}
+	return quantizeBatchBoundSearch(ft.ByLatency, bound)
+}
+
+// quantizeBatchBoundSearch is the original linear-scan quantization the
+// lookup array is precomputed from; it remains the reference semantics
+// (the equivalence is pinned over the full bound range in tests) and the
+// fallback for tables assembled without buildTable.
+func quantizeBatchBoundSearch(ests []Estimate, bound int) int {
 	best, max := 0, 0
-	for _, e := range ft.ByLatency {
+	for _, e := range ests {
 		b := e.Config.Batch
 		if b > max {
 			max = b

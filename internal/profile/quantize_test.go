@@ -1,0 +1,94 @@
+package profile
+
+import (
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/pricing"
+)
+
+// TestQuantizeBatchBoundLUT pins the precomputed lookup array against the
+// original linear search over the full bound range — negative, zero, every
+// in-array bound, the largest option itself, and past-the-array bounds
+// (which must fall back to the search's constant 0) — for every Table 3
+// function over both spaces.
+func TestQuantizeBatchBoundLUT(t *testing.T) {
+	for _, space := range []Space{DefaultSpace(), SmallSpace()} {
+		o := NewOracle(Table3Registry(), space, pricing.Default())
+		max := space.MaxBatch()
+		for _, name := range Table3Registry().Names() {
+			ft := o.MustTable(name)
+			if ft.batchBound == nil {
+				t.Fatalf("%s: oracle-built table has no lookup array", name)
+			}
+			if len(ft.batchBound) != max {
+				t.Errorf("%s: lookup array length %d, want the largest batch option %d",
+					name, len(ft.batchBound), max)
+			}
+			for bound := -2; bound <= max+10; bound++ {
+				want := quantizeBatchBoundSearch(ft.ByLatency, bound)
+				if got := ft.QuantizeBatchBound(bound); got != want {
+					t.Fatalf("%s: QuantizeBatchBound(%d) = %d, want %d (search)",
+						name, bound, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeBatchBoundTable is the explicit table-driven pin for the
+// default batch options {1,2,3,4,6,8,12,16}: inner bounds map to the
+// largest option at or below them, and everything at or past the largest
+// option (or non-positive) quantizes to 0 ("unbounded").
+func TestQuantizeBatchBoundTable(t *testing.T) {
+	o := NewOracle(Table3Registry(), DefaultSpace(), pricing.Default())
+	ft := o.MustTable(Classification)
+	cases := []struct{ bound, want int }{
+		{-1, 0}, {0, 0},
+		{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 4}, {6, 6}, {7, 6},
+		{8, 8}, {9, 8}, {11, 8}, {12, 12}, {13, 12}, {15, 12},
+		{16, 0}, {17, 0}, {1000, 0},
+	}
+	for _, c := range cases {
+		if got := ft.QuantizeBatchBound(c.bound); got != c.want {
+			t.Errorf("QuantizeBatchBound(%d) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+}
+
+// BenchmarkQuantizeBatchBound measures the lookup-array path against the
+// original linear search it replaced (the search stays reachable through
+// hand-assembled tables, so both paths remain honest).
+func BenchmarkQuantizeBatchBound(b *testing.B) {
+	o := NewOracle(Table3Registry(), DefaultSpace(), pricing.Default())
+	lut := o.MustTable(Classification)
+	scan := &FunctionTable{ByLatency: lut.ByLatency} // nil array: search path
+	b.Run("LUT", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = lut.QuantizeBatchBound(i & 31)
+		}
+	})
+	b.Run("Search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = scan.QuantizeBatchBound(i & 31)
+		}
+	})
+}
+
+// TestQuantizeBatchBoundHandAssembled covers tables built without
+// buildTable (nil lookup array): they must answer through the search
+// fallback with identical semantics.
+func TestQuantizeBatchBoundHandAssembled(t *testing.T) {
+	ft := &FunctionTable{ByLatency: []Estimate{
+		{Config: Config{Batch: 2, CPU: 1, GPU: 1}, Time: time.Millisecond},
+		{Config: Config{Batch: 8, CPU: 1, GPU: 1}, Time: 2 * time.Millisecond},
+	}}
+	cases := []struct{ bound, want int }{
+		{0, 0}, {1, 0}, {2, 2}, {5, 2}, {7, 2}, {8, 0}, {9, 0},
+	}
+	for _, c := range cases {
+		if got := ft.QuantizeBatchBound(c.bound); got != c.want {
+			t.Errorf("hand-assembled QuantizeBatchBound(%d) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+}

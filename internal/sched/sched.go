@@ -98,7 +98,8 @@ func DefaultMinConfig() profile.Config { return profile.MinConfig }
 // A lookup resolves as exactly one of Hits (exact key), IntervalHits (a
 // neighboring target bucket's entry answered through its feasibility
 // interval), Resumes (a retained search was re-pruned and continued), or
-// Misses (a cold search from scratch).
+// Misses (a cold search from scratch). Memo layers without the incremental
+// tiers — the baselines' plan memo — report only Hits and Misses.
 type PlanCacheStats struct {
 	Hits          uint64
 	IntervalHits  uint64
@@ -113,14 +114,16 @@ func (s PlanCacheStats) Lookups() uint64 {
 	return s.Hits + s.IntervalHits + s.Resumes + s.Misses
 }
 
-// PlanCaching is implemented by schedulers whose configuration search can
-// be memoized (ESG's plan cache). The Controller enables the cache when
-// its Config asks for one and reports the counters with the run's metrics.
+// PlanCaching is implemented by schedulers whose configuration search is
+// memoized (ESG's plan cache, the always-on baseline plan memo of INFless
+// and FaST-GShare). The Controller enables an optional cache when its
+// Config asks for one and reports the counters with the run's metrics.
 type PlanCaching interface {
 	// EnablePlanCache attaches a memoized search layer. capacity bounds
 	// the number of cached plans; granularity is the target-latency
 	// bucket width. Non-positive values select the implementation's
-	// defaults.
+	// defaults. Schedulers whose memo is structural and always on
+	// (bounded key space, nothing to size) treat this as a no-op.
 	EnablePlanCache(capacity int, granularity time.Duration)
 	// PlanCacheStats returns the cache counters (zero without a cache).
 	PlanCacheStats() PlanCacheStats

@@ -1,0 +1,45 @@
+// Command checkdocs is the CI docs-freshness gate: it verifies that every
+// relative link in ARCHITECTURE.md and README.md resolves to an existing
+// file, that symbols named in link text still exist in the linked Go
+// files, and that the README's embedded esgbench usage block matches the
+// binary's real flag surface (internal/cli.UsageText). With -fix it
+// regenerates the usage block in place.
+//
+// Usage:
+//
+//	go run ./scripts/checkdocs        # verify (exit 1 on drift)
+//	go run ./scripts/checkdocs -fix   # regenerate the README usage block
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/esg-sched/esg/internal/docs"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	fix := flag.Bool("fix", false, "regenerate the README's esgbench usage block before checking")
+	flag.Parse()
+
+	if *fix {
+		changed, err := docs.FixUsageBlock(*root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+			os.Exit(1)
+		}
+		if changed {
+			fmt.Fprintln(os.Stderr, "checkdocs: regenerated README.md usage block")
+		}
+	}
+	errs := docs.Check(*root)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "checkdocs: docs are fresh")
+}
