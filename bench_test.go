@@ -140,7 +140,7 @@ func BenchmarkSec53BruteForce(b *testing.B) {
 		b.Skip("brute force over 256^4 paths is not a -short benchmark")
 	}
 	for i := 0; i < b.N; i++ {
-		emit(experiments.Sec53())
+		emit(experiments.Sec53(nil))
 	}
 }
 

@@ -83,6 +83,13 @@ func main() {
 	if r.Parallel <= 0 {
 		r.Parallel = runtime.GOMAXPROCS(0)
 	}
+	r.CellShards = opts.CellShards
+	if r.CellShards <= 0 {
+		r.CellShards = runtime.GOMAXPROCS(0)
+	}
+	if !opts.Wall {
+		r.Wall.Disable()
+	}
 	r.PlanCache = opts.PlanCache
 	r.DisableBaselineMemo = !opts.BaselineMemo
 	// Zero fields select ScaleScenario's defaults (256 nodes, 100×,
@@ -157,7 +164,7 @@ func run(r *experiments.Runner, target string) (*experiments.Table, error) {
 	case "fig12":
 		return experiments.Fig12(r)
 	case "sec53":
-		return experiments.Sec53(), nil
+		return experiments.Sec53(&r.Wall), nil
 	default:
 		return nil, fmt.Errorf("unknown target (want all, table1, table3, table4, fig5..fig12, sec53, scale)")
 	}

@@ -8,6 +8,7 @@ package fastgshare
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/esg-sched/esg/internal/baselines"
@@ -28,7 +29,11 @@ type Scheduler struct {
 	// MaxCandidates bounds the plan's fallback list (default 5).
 	MaxCandidates int
 
-	splits map[int][]time.Duration
+	// splitMu guards the lazily filled splits memo under the controller's
+	// parallel pre-planning (ConcurrentPlanOK); the memo and the shared
+	// plan memo are the only mutable state Plan touches.
+	splitMu sync.Mutex
+	splits  map[int][]time.Duration
 }
 
 // New returns a FaST-GShare scheduler.
@@ -44,6 +49,8 @@ func New() *Scheduler {
 func (s *Scheduler) Name() string { return "FaST-GShare" }
 
 func (s *Scheduler) stageBudget(env *sched.Env, q *queue.AFW) time.Duration {
+	s.splitMu.Lock()
+	defer s.splitMu.Unlock()
 	split, ok := s.splits[q.AppIndex]
 	if !ok {
 		split = sched.MeanServiceSplit(env.Apps[q.AppIndex], env.Registry, env.SLOs[q.AppIndex])
@@ -51,6 +58,12 @@ func (s *Scheduler) stageBudget(env *sched.Env, q *queue.AFW) time.Duration {
 	}
 	return split[q.Stage]
 }
+
+// ConcurrentPlanOK implements sched.ConcurrentPlanner: the splits memo and
+// the shared plan memo are synchronized, and the ranking is a pure
+// function of the memo key, so a concurrently computed plan is identical
+// to the sequential one.
+func (s *Scheduler) ConcurrentPlanOK() {}
 
 // Plan implements sched.Scheduler: among configurations meeting the static
 // stage deadline, pick the smallest GPU (then CPU) share, running as close

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/esg-sched/esg/internal/profile"
@@ -28,6 +29,11 @@ type Key struct {
 // that sound — and the bounded key space makes an eviction policy
 // unnecessary.
 type Memo struct {
+	// mu makes Lookup/Store safe under the controller's parallel
+	// pre-planning. Rankings are pure functions of their key, so
+	// concurrent fills of one key store identical slices — the lock only
+	// keeps the map and counters coherent, it never changes a candidate.
+	mu      sync.Mutex
 	entries map[Key][]profile.Config
 	stats   sched.PlanCacheStats
 
@@ -58,6 +64,8 @@ func (m *Memo) Lookup(k Key) ([]profile.Config, bool) {
 	if m.disabled {
 		return nil, false
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if cands, ok := m.entries[k]; ok {
 		m.stats.Hits++
 		return cands, true
@@ -75,6 +83,8 @@ func (m *Memo) Store(k Key, cands []profile.Config) []profile.Config {
 	if m.disabled {
 		return cands
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cands = cands[:len(cands):len(cands)]
 	m.entries[k] = cands
 	if m.snapshots != nil {
@@ -84,13 +94,21 @@ func (m *Memo) Store(k Key, cands []profile.Config) []profile.Config {
 }
 
 // Len returns the number of memoized rankings.
-func (m *Memo) Len() int { return len(m.entries) }
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
 
 // Stats returns the memo's counters in the shared plan-cache shape: Hits
 // are exact-key reuses, Misses are cold rankings. The interval/resume
 // tiers do not exist here (reuse is already invalidation-free), so those
 // counters stay zero.
-func (m *Memo) Stats() sched.PlanCacheStats { return m.stats }
+func (m *Memo) Stats() sched.PlanCacheStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // CheckMutations arms mutation detection: every ranking stored from now on
 // is copied, and Integrity compares the live entries against the copies.

@@ -87,3 +87,68 @@ func TestFirstWarmFitAllocFree(t *testing.T) {
 		t.Errorf("FirstWarmFit allocates %.1f/op, want 0", allocs)
 	}
 }
+
+func TestContainersForAllocFree(t *testing.T) {
+	// The batched fleet prune plus the warm-index walk must not touch the
+	// heap: the controller's pre-warm planners call this per function per
+	// event.
+	c, _, fn := allocPinCluster()
+	now := time.Duration(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += time.Millisecond
+		if c.ContainersFor(fn, now) != 1 {
+			t.Fatal("warm container vanished")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ContainersFor allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestBestFitAllocFree(t *testing.T) {
+	// The place fast path — a bucket-grid walk over the fleet index — is
+	// called once per dispatch attempt and must stay allocation-free.
+	c, _, _ := allocPinCluster()
+	res := c.Invokers[0].Capacity
+	allocs := testing.AllocsPerRun(1000, func() {
+		if c.BestFit(res) == nil {
+			t.Fatal("no invoker fits its own capacity")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("BestFit allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestWarmStampBatchesRepeatQueries(t *testing.T) {
+	// Within one timestamp the first warm query prunes the fleet and stamps
+	// it; repeats skip the per-invoker prune entirely. The stamp only
+	// engages while KeepAlive > 0 (with KeepAlive == 0 a container pushed
+	// at now is already expired at now, so every query must re-prune).
+	c, inv, fn := allocPinCluster()
+	now := 5 * time.Millisecond
+	if got := c.ContainersFor(fn, now); got != 1 {
+		t.Fatalf("ContainersFor = %d, want 1", got)
+	}
+	if c.idx.warmStamp[fn] != now {
+		t.Fatalf("warmStamp = %v after query at %v", c.idx.warmStamp[fn], now)
+	}
+	// A stamped repeat at the same now must see the same pool even though
+	// it skips the prune walk.
+	inv.AddWarm(fn, now)
+	if got := c.ContainersFor(fn, now); got != 2 {
+		t.Fatalf("stamped repeat ContainersFor = %d, want 2", got)
+	}
+
+	cfg := DefaultConfig()
+	cfg.KeepAlive = 0
+	c0 := MustNew(cfg)
+	fn0 := c0.Intern("deblur")
+	c0.Invokers[0].AddWarm(fn0, time.Millisecond)
+	if got := c0.ContainersFor(fn0, time.Millisecond); got != 0 {
+		t.Fatalf("KeepAlive=0: ContainersFor = %d, want 0 (expired on push)", got)
+	}
+	if c0.idx.warmStamp[fn0] != 0 {
+		t.Fatalf("KeepAlive=0 run stamped the fleet (stamp=%v)", c0.idx.warmStamp[fn0])
+	}
+}

@@ -173,14 +173,37 @@ func (c *Cluster) TotalFree(now time.Duration) units.Resources {
 	return r
 }
 
+// pruneWarmFleet prunes fn's expired warm containers across every invoker
+// in the warm index, batched behind a per-function timestamp: once the
+// fleet has been pruned at now, repeat queries at the same simulated time
+// skip the per-invoker ring checks entirely (a controller pass issues many
+// warm queries per event, all at one timestamp). Sound because time never
+// regresses and every push deadline is now+keepAlive, strictly in the
+// future while keepAlive > 0; with keepAlive == 0 a container pushed at
+// now is already expired at now, so the stamp is bypassed and every query
+// re-prunes as before.
+func (c *Cluster) pruneWarmFleet(fn FnID, now time.Duration) {
+	stamped := c.Cfg.KeepAlive > 0
+	if stamped && c.idx.warmStamp[fn] == now {
+		return
+	}
+	for _, id := range c.idx.warmIDs(fn) {
+		c.Invokers[id].pruneWarm(fn, now)
+	}
+	if stamped {
+		c.idx.warmStamp[fn] = now
+	}
+}
+
 // WarmInvokers returns invokers holding an idle warm container for the
 // function at time now, in ascending ID order. Only invokers in the warm
-// index are visited (and lazily pruned), not the whole fleet.
+// index are visited (after one batched fleet prune), not the whole fleet.
 func (c *Cluster) WarmInvokers(fn FnID, now time.Duration) []*Invoker {
 	c.idx.checkFn(fn)
+	c.pruneWarmFleet(fn, now)
 	var out []*Invoker
 	for _, id := range c.idx.warmIDs(fn) {
-		if inv := c.Invokers[id]; inv.HasIdleWarm(fn, now) {
+		if inv := c.Invokers[id]; inv.warmLen(fn) > 0 {
 			out = append(out, inv)
 		}
 	}
@@ -189,12 +212,14 @@ func (c *Cluster) WarmInvokers(fn FnID, now time.Duration) []*Invoker {
 
 // FirstWarmFit returns the lowest-ID invoker holding an idle warm container
 // for fn at now whose free capacity fits res, or nil. It is the allocation-
-// free fast path of the dispatch policies' "any warm invoker" step.
+// free fast path of the dispatch policies' "any warm invoker" step: one
+// batched fleet prune, then a pure bitset walk.
 func (c *Cluster) FirstWarmFit(fn FnID, now time.Duration, res units.Resources) *Invoker {
 	c.idx.checkFn(fn)
+	c.pruneWarmFleet(fn, now)
 	for _, id := range c.idx.warmIDs(fn) {
 		inv := c.Invokers[id]
-		if inv.HasIdleWarm(fn, now) && inv.CanFit(res) {
+		if inv.warmLen(fn) > 0 && inv.CanFit(res) {
 			return inv
 		}
 	}
@@ -214,9 +239,10 @@ func (c *Cluster) HasBusyOrWarming(fn FnID) bool {
 // fleet-wide pool size the pre-warm planners compare against demand.
 func (c *Cluster) ContainersFor(fn FnID, now time.Duration) int {
 	c.idx.checkFn(fn)
+	c.pruneWarmFleet(fn, now)
 	n := c.idx.busyTotal[fn] + c.idx.warmingInv[fn]
 	for _, id := range c.idx.warmIDs(fn) {
-		n += c.Invokers[id].IdleWarmCount(fn, now)
+		n += c.Invokers[id].warmLen(fn)
 	}
 	return n
 }

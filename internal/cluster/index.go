@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"github.com/esg-sched/esg/internal/units"
 )
@@ -39,6 +40,13 @@ type fleetIndex struct {
 	warmSet    [][]uint64 // FnID -> bitset of invokers with idle warm pools (nil until first presence)
 	busyTotal  []int      // FnID -> total busy containers
 	warmingInv []int      // FnID -> invokers with warming[fn] > 0
+	// warmStamp[fn] is the simulated time of the last fleet-wide warm
+	// prune of fn (see Cluster.pruneWarmFleet). While the clock sits at
+	// the stamp, no unexpired-at-stamp deadline can have expired (pushes
+	// are always now+keepAlive, strictly in the future for keepAlive > 0),
+	// so repeat queries at one timestamp skip per-invoker re-prunes. The
+	// zero value is sound: nothing can be expired at time 0.
+	warmStamp []time.Duration
 
 	idScratch []int // reusable ID buffer for iteration that mutates bitsets
 }
@@ -176,6 +184,7 @@ func (x *fleetIndex) growFns(n int) {
 		x.warmSet = append(x.warmSet, nil)
 		x.busyTotal = append(x.busyTotal, 0)
 		x.warmingInv = append(x.warmingInv, 0)
+		x.warmStamp = append(x.warmStamp, 0)
 	}
 }
 

@@ -155,6 +155,16 @@ func (inv *Invoker) HasIdleWarm(fn FnID, now time.Duration) bool {
 	return int(fn) < len(inv.warm) && inv.warm[fn].n > 0
 }
 
+// warmLen returns fn's idle warm-pool size without pruning. Only valid
+// right after a prune at the current timestamp (Cluster.pruneWarmFleet);
+// everyone else goes through IdleWarmCount.
+func (inv *Invoker) warmLen(fn FnID) int {
+	if int(fn) >= len(inv.warm) {
+		return 0
+	}
+	return inv.warm[fn].n
+}
+
 // IdleWarmCount returns the number of idle warm containers for fn at now.
 func (inv *Invoker) IdleWarmCount(fn FnID, now time.Duration) int {
 	inv.pruneWarm(fn, now)

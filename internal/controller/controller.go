@@ -93,6 +93,14 @@ type Config struct {
 	// cache key (0 = default).
 	PlanCacheGranularity time.Duration
 
+	// CellShards is the number of parallel planning shards inside this
+	// cell's controller (0 or 1 = fully sequential). Sharding requires the
+	// scheduler to opt in via sched.ConcurrentPlanner — otherwise the knob
+	// is a no-op — and never changes results: speculative plans are
+	// consumed in the sequential scan order and only when still valid, so
+	// artifacts are byte-identical to a CellShards=1 run at the same seed.
+	CellShards int
+
 	// Overhead selects how scheduling overhead is charged.
 	Overhead      sched.OverheadMode
 	FixedOverhead time.Duration
@@ -184,6 +192,10 @@ type Controller struct {
 	// allocating per task.
 	jobBufs [][]*queue.Job
 
+	// shards, when non-nil, pre-plans ready queues in parallel at the top
+	// of every pass (see planShards); nil runs the scan fully sequential.
+	shards *planShards
+
 	passPending bool
 	lastPass    time.Duration
 
@@ -253,6 +265,11 @@ func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error)
 	if cfg.PlanCache {
 		if pc, ok := s.(sched.PlanCaching); ok {
 			pc.EnablePlanCache(cfg.PlanCacheSize, cfg.PlanCacheGranularity)
+		}
+	}
+	if cfg.CellShards > 1 {
+		if _, ok := s.(sched.ConcurrentPlanner); ok {
+			c.shards = newPlanShards(cfg.CellShards, len(qs.Queues))
 		}
 	}
 	c.planners = make([]*prewarm.PoolPlanner, len(qs.Queues))
@@ -366,6 +383,7 @@ func (c *Controller) requestPass() {
 func (c *Controller) runPass() {
 	c.passPending = false
 	c.lastPass = c.engine.Now()
+	c.speculate()
 	c.retryRecheck()
 	n := len(c.queues.Queues)
 	for i := 0; i < n; i++ {
@@ -410,7 +428,7 @@ func (c *Controller) processQueue(q *queue.AFW) {
 		if c.lastOutcome[q.ID] == deferred && key == c.lastAttempt[q.ID] && !c.deferWindowExpired(q) {
 			return
 		}
-		plan := c.scheduler.Plan(c.env, q, c.engine.Now())
+		plan := c.planFor(q)
 		c.collector.RecordPlan(plan.Overhead, plan.PrePlanned, plan.ConfigMiss)
 		outcome := c.tryDispatch(q, plan, false)
 		c.lastAttempt[q.ID] = key
@@ -547,7 +565,7 @@ func (c *Controller) retryRecheck() {
 			continue
 		}
 		c.lastAttempt[q.ID] = key
-		plan := c.scheduler.Plan(c.env, q, c.engine.Now())
+		plan := c.planFor(q)
 		c.collector.RecordPlan(plan.Overhead, plan.PrePlanned, plan.ConfigMiss)
 		outcome := c.tryDispatch(q, plan, false)
 		c.lastOutcome[q.ID] = outcome

@@ -18,10 +18,11 @@ const (
 	// DefaultCacheSize bounds the number of memoized searches kept.
 	// Entries are small (up to K paths of a few estimates each), and the
 	// working set of a production-scale run — stage groups × quantized
-	// queue depths × target buckets, including the aliases interval hits
-	// materialize — runs into the thousands; at 512 the LRU churned hot
-	// entries and re-searched them (measured on the scale scenario:
-	// 4096 nearly halves the cold-search count).
+	// queue depths × target buckets — runs into the thousands; at 512 the
+	// LRU churned hot entries and re-searched them (measured on the scale
+	// scenario: 4096 nearly halves the cold-search count). Interval hits
+	// answer from their own side structure and insert nothing here, so the
+	// LRU only ever holds genuinely searched keys.
 	DefaultCacheSize = 4096
 	// DefaultCacheGranularity is the GSLO bucket width. The controller's
 	// scheduling quantum is 2 ms, so targets recur at millisecond scale;
@@ -33,6 +34,11 @@ const (
 	// group: under a steadily tightening target the newest entries answer
 	// everything, so a short list suffices.
 	maxIntervalPerKey = 8
+	// maxIntervalKeys bounds the number of stage groups with an interval
+	// list. Interval entries live outside the exact-key LRU (an interval
+	// hit must not churn it), so they need their own bound; the hot stage
+	// groups of a run number in the tens, well under this.
+	maxIntervalKeys = 256
 	// maxResumeSlots bounds the retained search states (each pins an
 	// arena and frontier, see RetainedSearch). The hot stage groups of a
 	// run number in the tens.
@@ -115,8 +121,12 @@ type intervalKey struct {
 // re-planning cadence group targets tighten monotonically as the queue
 // head ages, which is exactly the pattern these two layers absorb.
 //
-// Entries are kept in an LRU list bounded by Capacity. All methods are
-// safe for concurrent use.
+// Exact-key entries are kept in an LRU list bounded by Capacity. Interval
+// answers come from a separate per-stage-group side structure: an interval
+// hit never inserts an alias into the exact-key LRU (aliases used to churn
+// hot entries out at tight capacities), and an interval entry keeps
+// answering even after its originating exact entry is evicted. All methods
+// are safe for concurrent use.
 //
 // Read-only contract: the returned SearchResult — the Paths slice and
 // every Path.Ests in it — is shared between the cache, its retained search
@@ -130,18 +140,23 @@ type PlanCache struct {
 	granularity time.Duration
 	entries     map[cacheKey]*list.Element
 	order       *list.List // front = most recently used
-	intervals   map[intervalKey][]*list.Element
+	intervals   map[intervalKey]*intervalList
+	useSeq      uint64 // interval-list recency clock
 	stats       CacheStats
 	checkMut    bool
 
-	// searchMu serializes the retained-search machinery: the dedicated
-	// searcher and the resume slots. Concurrent callers that would block
-	// here run an independent pooled search instead (losing retention for
-	// that one search, never correctness).
+	// searchMu guards the resume-slot table (the map and the recency
+	// clock), never a search itself: each slot carries its own mutex, so
+	// concurrent planners working disjoint stage groups search in
+	// parallel while same-group searches serialize in arrival order and
+	// keep their retained state.
 	searchMu sync.Mutex
-	searcher *Searcher
 	resumes  map[intervalKey]*resumeSlot
 	seq      uint64
+	// searchers recycles search scratch across cold searches; retained
+	// states (resumeSlot.st) own their storage independently of the
+	// searcher that produced them.
+	searchers sync.Pool
 
 	// oracleIDs names each profile-table generation ever seen by this
 	// cache, so schedulers sharing the cache across different oracles
@@ -160,23 +175,44 @@ type cacheEntry struct {
 	// the entry's feasibility interval.
 	computedAt time.Duration
 	tmax       time.Duration
-	ikey       intervalKey
-	indexed    bool
 	// snapshot is a deep copy of res.Paths taken at insertion when
 	// CheckMutations is armed; Integrity compares against it.
 	snapshot []Path
 }
 
+// intervalEntry is one self-contained record of the feasibility-interval
+// side structure: the frozen result plus the interval it answers. It shares
+// the frozen Paths storage with the exact entry inserted alongside it but
+// has no pointer into the LRU, so interval hits neither touch nor extend
+// the exact-key order.
+type intervalEntry struct {
+	res        SearchResult
+	computedAt time.Duration
+	tmax       time.Duration
+	snapshot   []Path
+}
+
 // covers reports whether the entry's result answers a search at the
 // quantized target q.
-func (e *cacheEntry) covers(q time.Duration) bool {
+func (e *intervalEntry) covers(q time.Duration) bool {
 	if q > e.computedAt {
 		return false
 	}
 	return !e.res.Feasible || e.tmax <= q
 }
 
+// intervalList holds one stage group's interval entries (oldest first) with
+// the recency stamp the key-count bound evicts by.
+type intervalList struct {
+	entries []intervalEntry
+	lastUse uint64
+}
+
 type resumeSlot struct {
+	// mu serializes searches of one stage group: the holder may resume,
+	// replace or retain st. Acquired with c.searchMu already released, so
+	// disjoint stage groups never serialize on each other.
+	mu      sync.Mutex
 	st      *RetainedSearch
 	lastUse uint64
 }
@@ -190,16 +226,17 @@ func NewPlanCache(capacity int, granularity time.Duration) *PlanCache {
 	if granularity <= 0 {
 		granularity = DefaultCacheGranularity
 	}
-	return &PlanCache{
+	c := &PlanCache{
 		capacity:    capacity,
 		granularity: granularity,
 		entries:     make(map[cacheKey]*list.Element, capacity),
 		order:       list.New(),
-		intervals:   make(map[intervalKey][]*list.Element),
-		searcher:    NewSearcher(),
+		intervals:   make(map[intervalKey]*intervalList),
 		resumes:     make(map[intervalKey]*resumeSlot),
 		oracleIDs:   make(map[*profile.Oracle]uint64),
 	}
+	c.searchers.New = func() any { return NewSearcher() }
+	return c
 }
 
 // TableID names the profile-table generation behind an oracle, unique
@@ -261,6 +298,18 @@ func (c *PlanCache) Integrity() error {
 				ent.key.sig, time.Duration(ent.key.gslo))
 		}
 	}
+	for ikey, lst := range c.intervals {
+		for i := range lst.entries {
+			ent := &lst.entries[i]
+			if ent.snapshot == nil {
+				continue
+			}
+			if !pathsEqual(ent.res.Paths, ent.snapshot) {
+				return fmt.Errorf("core: interval-cached plan for %q (computed at %v) was mutated by a caller; plans returned by PlanCache.Search are read-only",
+					ikey.sig, ent.computedAt)
+			}
+		}
+	}
 	return nil
 }
 
@@ -271,7 +320,7 @@ func (c *PlanCache) Invalidate() {
 	c.mu.Lock()
 	c.entries = make(map[cacheKey]*list.Element, c.capacity)
 	c.order.Init()
-	c.intervals = make(map[intervalKey][]*list.Element)
+	c.intervals = make(map[intervalKey]*intervalList)
 	c.oracleIDs = make(map[*profile.Oracle]uint64)
 	c.idEpoch++
 	c.stats.Invalidations++
@@ -342,20 +391,22 @@ func (c *PlanCache) Search(in SearchInput, sig string) SearchResult {
 		c.mu.Unlock()
 		return res
 	}
-	for _, el := range c.intervals[ikey] {
-		ent := el.Value.(*cacheEntry)
-		if !ent.covers(in.GSLO) {
-			continue
+	if lst, ok := c.intervals[ikey]; ok {
+		for i := range lst.entries {
+			ent := &lst.entries[i]
+			if !ent.covers(in.GSLO) {
+				continue
+			}
+			c.useSeq++
+			lst.lastUse = c.useSeq
+			c.stats.IntervalHits++
+			res := ent.res
+			// Answer straight from the side structure: no alias entry is
+			// materialized, so the exact-key LRU is untouched and repeat
+			// lookups in this bucket keep resolving here.
+			c.mu.Unlock()
+			return res
 		}
-		c.order.MoveToFront(el)
-		c.stats.IntervalHits++
-		res := ent.res
-		// Materialize an exact alias so the next lookup in this bucket
-		// is a plain hit. Aliases stay out of the interval index — the
-		// covering entry already spans their interval.
-		c.insertLocked(key, ikey, res, ent.computedAt, ent.tmax, false)
-		c.mu.Unlock()
-		return res
 	}
 	c.mu.Unlock()
 
@@ -380,6 +431,7 @@ func (c *PlanCache) Search(in SearchInput, sig string) SearchResult {
 				}
 			}
 		}
+		c.insertLocked(key, res, computedAt, tmax)
 		// A budget-capped (truncated) search is cached for its exact key
 		// — repeats of the same capped input are identical — but kept out
 		// of the interval index: its partial result answers no other
@@ -389,7 +441,9 @@ func (c *PlanCache) Search(in SearchInput, sig string) SearchResult {
 		if maxExp <= 0 {
 			maxExp = defaultMaxExpansions
 		}
-		c.insertLocked(key, ikey, res, computedAt, tmax, res.Expanded <= maxExp)
+		if res.Expanded <= maxExp {
+			c.indexIntervalLocked(ikey, res, computedAt, tmax)
+		}
 	}
 	c.mu.Unlock()
 	return res
@@ -400,108 +454,121 @@ func (c *PlanCache) Search(in SearchInput, sig string) SearchResult {
 // retained cold search. computedAt is the target the result was actually
 // searched at (a Resume may answer from a looser bucket, see
 // Searcher.Resume).
+//
+// Concurrency: the stage group's resume slot is locked for the duration of
+// the search, so same-group searches serialize in arrival order and each
+// sees its predecessor's retained state — exactly the sequential behavior.
+// Disjoint stage groups hold disjoint slot locks and search in parallel on
+// pooled searchers.
 func (c *PlanCache) searchCold(in SearchInput, ikey intervalKey) (res SearchResult, computedAt time.Duration, resumed bool) {
-	if !c.searchMu.TryLock() {
-		// Contended: run an independent pooled search rather than
-		// serializing concurrent planners on the retained state.
-		return Search(in), in.GSLO, false
-	}
-	defer c.searchMu.Unlock()
-	c.seq++
+	slot := c.lockSlot(ikey)
+	defer slot.mu.Unlock()
+
+	s := c.searchers.Get().(*Searcher)
+	defer c.searchers.Put(s)
+
 	var recycle *RetainedSearch
-	if slot, ok := c.resumes[ikey]; ok {
-		res, at, ok2 := c.searcher.Resume(slot.st, in.GSLO)
+	if slot.st != nil {
+		res, at, ok2 := s.Resume(slot.st, in.GSLO)
 		if slot.st.Dead() {
 			// The state can no longer answer; its buffers still can.
-			delete(c.resumes, ikey)
 			recycle = slot.st
+			slot.st = nil
 			if ok2 {
 				return res, at, true
 			}
 		} else if ok2 {
-			slot.lastUse = c.seq
 			return res, at, true
 		} else {
 			// Looser target than the retained one: the cold search below
 			// replaces the state, reusing its storage.
 			recycle = slot.st
+			slot.st = nil
 		}
 	}
-	res, st := c.searcher.SearchRetain(in, recycle)
-	if st != nil {
-		c.storeResume(ikey, st)
-	}
+	res, st := s.SearchRetain(in, recycle)
+	slot.st = st
 	return res, in.GSLO, false
 }
 
-// storeResume records the retained state of a stage group's latest cold
-// search, evicting the least-recently-used slot when full.
-func (c *PlanCache) storeResume(ikey intervalKey, st *RetainedSearch) {
-	if slot, ok := c.resumes[ikey]; ok {
-		slot.st, slot.lastUse = st, c.seq
-		return
-	}
-	if len(c.resumes) >= maxResumeSlots {
-		var victim intervalKey
-		first := true
-		var oldest uint64
-		for k, s := range c.resumes {
-			if first || s.lastUse < oldest {
-				first, oldest, victim = false, s.lastUse, k
+// lockSlot returns the stage group's resume slot with its mutex held,
+// creating it (and evicting the least-recently-used slot past the bound)
+// on first use. The table lock is released before the slot lock is
+// acquired, so a slow search never blocks other groups' slot lookups; a
+// concurrently evicted slot keeps working detached, merely losing its
+// retained state for future lookups.
+func (c *PlanCache) lockSlot(ikey intervalKey) *resumeSlot {
+	c.searchMu.Lock()
+	c.seq++
+	slot, ok := c.resumes[ikey]
+	if !ok {
+		if len(c.resumes) >= maxResumeSlots {
+			var victim intervalKey
+			first := true
+			var oldest uint64
+			for k, s := range c.resumes {
+				if first || s.lastUse < oldest {
+					first, oldest, victim = false, s.lastUse, k
+				}
 			}
+			delete(c.resumes, victim)
 		}
-		delete(c.resumes, victim)
+		slot = &resumeSlot{}
+		c.resumes[ikey] = slot
 	}
-	c.resumes[ikey] = &resumeSlot{st: st, lastUse: c.seq}
+	slot.lastUse = c.seq
+	c.searchMu.Unlock()
+	slot.mu.Lock()
+	return slot
 }
 
-// insertLocked adds an entry to the LRU (and, for index=true, to the
-// feasibility-interval index), evicting from the back over capacity. The
-// caller holds c.mu and guarantees key is absent.
-func (c *PlanCache) insertLocked(key cacheKey, ikey intervalKey, res SearchResult, computedAt, tmax time.Duration, index bool) {
-	ent := &cacheEntry{key: key, res: res, computedAt: computedAt, tmax: tmax, ikey: ikey}
+// insertLocked adds an exact-key entry to the LRU, evicting from the back
+// over capacity. The caller holds c.mu and guarantees key is absent.
+func (c *PlanCache) insertLocked(key cacheKey, res SearchResult, computedAt, tmax time.Duration) {
+	ent := &cacheEntry{key: key, res: res, computedAt: computedAt, tmax: tmax}
 	if c.checkMut {
 		ent.snapshot = deepCopyPaths(res.Paths)
 	}
 	el := c.order.PushFront(ent)
 	c.entries[key] = el
-	if index {
-		lst := c.intervals[ikey]
-		if len(lst) >= maxIntervalPerKey {
-			lst[0].Value.(*cacheEntry).indexed = false
-			lst = append(lst[:0], lst[1:]...)
-		}
-		ent.indexed = true
-		c.intervals[ikey] = append(lst, el)
-	}
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		oent := oldest.Value.(*cacheEntry)
-		delete(c.entries, oent.key)
-		if oent.indexed {
-			c.unindexLocked(oent, oldest)
-		}
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.stats.Evictions++
 	}
 }
 
-// unindexLocked removes an evicted entry from the feasibility-interval
-// index.
-func (c *PlanCache) unindexLocked(ent *cacheEntry, el *list.Element) {
-	lst := c.intervals[ent.ikey]
-	for i, e := range lst {
-		if e == el {
-			lst = append(lst[:i], lst[i+1:]...)
-			break
+// indexIntervalLocked records a search in the stage group's interval side
+// structure (oldest entry out past the per-key bound; least-recently-used
+// group out past the key-count bound). The caller holds c.mu.
+func (c *PlanCache) indexIntervalLocked(ikey intervalKey, res SearchResult, computedAt, tmax time.Duration) {
+	c.useSeq++
+	lst, ok := c.intervals[ikey]
+	if !ok {
+		if len(c.intervals) >= maxIntervalKeys {
+			var victim intervalKey
+			first := true
+			var oldest uint64
+			for k, l := range c.intervals {
+				if first || l.lastUse < oldest {
+					first, oldest, victim = false, l.lastUse, k
+				}
+			}
+			delete(c.intervals, victim)
 		}
+		lst = &intervalList{}
+		c.intervals[ikey] = lst
 	}
-	if len(lst) == 0 {
-		delete(c.intervals, ent.ikey)
-	} else {
-		c.intervals[ent.ikey] = lst
+	ent := intervalEntry{res: res, computedAt: computedAt, tmax: tmax}
+	if c.checkMut {
+		ent.snapshot = deepCopyPaths(res.Paths)
 	}
-	ent.indexed = false
+	if len(lst.entries) >= maxIntervalPerKey {
+		lst.entries = append(lst.entries[:0], lst.entries[1:]...)
+	}
+	lst.entries = append(lst.entries, ent)
+	lst.lastUse = c.useSeq
 }
 
 // freezeResult caps both slice levels of the result so a caller's append

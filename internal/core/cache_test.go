@@ -157,13 +157,13 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 		t.Errorf("hits = %d, want %d (LRU order violated)", st.Hits, wantHits)
 	}
 	// The evicted victim is gone from the LRU, but the stage group's
-	// retained search survives in its resume slot: the lookup must not be
-	// an exact hit, and must be answered by a resume instead of a cold
-	// search.
+	// interval side structure is decoupled from it and survives: the
+	// lookup must not be an exact hit, and must be answered by the
+	// surviving interval entry without searching at all.
 	c.Search(in, sig(3))
-	if st := c.Stats(); st.Misses != 6 || st.Resumes != 1 {
-		t.Errorf("misses = %d resumes = %d, want 6 and 1 (evicted victim re-answered by its retained search)",
-			st.Misses, st.Resumes)
+	if st := c.Stats(); st.Misses != 6 || st.IntervalHits != 1 || st.Resumes != 0 {
+		t.Errorf("misses = %d intervalHits = %d resumes = %d, want 6, 1 and 0 (evicted victim re-answered by its interval entry)",
+			st.Misses, st.IntervalHits, st.Resumes)
 	}
 }
 
@@ -243,11 +243,15 @@ func TestPlanCacheIntervalHit(t *testing.T) {
 	if !reflect.DeepEqual(second.Paths, fresh.Paths) || second.Feasible != fresh.Feasible {
 		t.Errorf("interval hit differs from a fresh search at the quantized target")
 	}
-	// The hit materialized an exact alias: the same bucket is now a
-	// plain hit.
+	// Repeat lookups in the covered bucket keep answering from the side
+	// structure: no exact alias is materialized (aliases used to churn
+	// the LRU at tight capacity), so the exact-key LRU stays untouched.
 	c.Search(cacheInput(o, q), sig)
-	if st := c.Stats(); st.Hits != 1 {
-		t.Errorf("alias not materialized: %+v", st)
+	if st := c.Stats(); st.Hits != 0 || st.IntervalHits != 2 {
+		t.Errorf("interval hit materialized an alias: %+v", st)
+	}
+	if c.Len() != 1 {
+		t.Errorf("interval hits grew the exact-key LRU to %d entries, want 1", c.Len())
 	}
 
 	// An infeasible search answers every tighter target: the drain
@@ -257,11 +261,62 @@ func TestPlanCacheIntervalHit(t *testing.T) {
 		t.Fatal("2ms target reported feasible")
 	}
 	tighter := c.Search(cacheInput(o, time.Millisecond), sig)
-	if st := c.Stats(); st.IntervalHits != 2 {
+	if st := c.Stats(); st.IntervalHits != 3 {
 		t.Errorf("infeasible interval did not cover a tighter target: %+v", st)
 	}
 	if !reflect.DeepEqual(inf.Paths, tighter.Paths) {
 		t.Errorf("infeasible interval hit differs from the covering entry")
+	}
+}
+
+func TestPlanCacheIntervalHitsDoNotChurnAtCapacity(t *testing.T) {
+	// Regression: interval hits used to materialize an exact alias entry
+	// per answered bucket, so a scale-shaped working set — tens of stage
+	// groups, each probed across many tightening target buckets — minted
+	// hundreds of aliases and churned genuinely searched keys out of a
+	// 512-entry LRU. Interval answers now live in their own side
+	// structure: the counters below pin that a full sweep of covered
+	// buckets evicts nothing and leaves the LRU holding exactly the
+	// searched keys.
+	o := smallOracle()
+	c := NewPlanCache(512, 5*time.Millisecond)
+	const groups = 64
+	sig := func(i int) string { return fmt.Sprintf("t0|/group%d", i) }
+
+	loose := cacheInput(o, 5*time.Second)
+	first := c.Search(loose, sig(0))
+	if !first.Feasible {
+		t.Fatal("loose search infeasible")
+	}
+	tmax := maxPathTime(first.Paths)
+	base := c.QuantizeGSLO(tmax)
+	const buckets = 8
+	if base+buckets*5*time.Millisecond >= 5*time.Second {
+		t.Fatalf("test setup: tmax %v leaves too few covered buckets", tmax)
+	}
+	for i := 1; i < groups; i++ {
+		c.Search(loose, sig(i))
+	}
+	// 64 groups × 8 covered buckets: 512 interval answers. With alias
+	// materialization these became 512 extra LRU inserts on top of the 64
+	// real entries — past capacity 512, guaranteed churn.
+	for i := 0; i < groups; i++ {
+		for b := 1; b <= buckets; b++ {
+			in := cacheInput(o, base+time.Duration(b)*5*time.Millisecond)
+			c.Search(in, sig(i))
+		}
+	}
+	// Every originally searched key must still be resident.
+	for i := 0; i < groups; i++ {
+		c.Search(loose, sig(i))
+	}
+	st := c.Stats()
+	want := CacheStats{Misses: groups, IntervalHits: groups * buckets, Hits: groups}
+	if st != want {
+		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+	if c.Len() != groups {
+		t.Errorf("LRU holds %d entries, want %d (searched keys only)", c.Len(), groups)
 	}
 }
 

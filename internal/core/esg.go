@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/esg-sched/esg/internal/cluster"
@@ -36,6 +37,10 @@ type ESG struct {
 
 	// cache, when non-nil, memoizes ESG_1Q searches across Plan calls.
 	cache *PlanCache
+	// mu guards the lazily filled sigs and dists memos so Plan is safe
+	// under the controller's parallel pre-planning (ConcurrentPlanOK).
+	// The plan cache carries its own synchronization.
+	mu sync.Mutex
 	// sigs memoizes the cache signature per (oracle, stage) — Plan is
 	// the hot path, and the signature is deterministic for those inputs.
 	sigs map[sigKey]string
@@ -103,6 +108,8 @@ func (e *ESG) Name() string {
 // distribution lazily computes (and caches) the dominator-based SLO
 // distribution of an application.
 func (e *ESG) distribution(env *sched.Env, appIndex int) *dominator.Distribution {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if d, ok := e.dists[appIndex]; ok {
 		return d
 	}
@@ -202,6 +209,8 @@ func (e *ESG) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 // deterministic for those inputs — keeping the hit path allocation-free.
 func (e *ESG) groupSignature(env *sched.Env, q *queue.AFW, stages []int) string {
 	k := sigKey{oracle: env.Oracle, appIndex: q.AppIndex, stage: q.Stage}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if sig, ok := e.sigs[k]; ok {
 		return sig
 	}
@@ -265,6 +274,13 @@ func (e *ESG) InvalidatePlanCache() {
 		e.sigs = nil
 	}
 }
+
+// ConcurrentPlanOK implements sched.ConcurrentPlanner: Plan's internal
+// memos (sigs, dists, the plan cache and the searcher pool) are all
+// synchronized, and the candidate list is a deterministic function of the
+// queue coordinates and now — the search result is input-deterministic
+// regardless of which cache tier answers.
+func (e *ESG) ConcurrentPlanOK() {}
 
 // Place implements sched.Scheduler with ESG_Dispatch's locality policy.
 func (e *ESG) Place(env *sched.Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config, now time.Duration) *cluster.Invoker {

@@ -107,6 +107,18 @@ type Searcher struct {
 	minCostAfter []units.Money
 	arena        []node
 
+	// Vectorized views of lists for the hot expansion loop: per-stage flat
+	// arrays of est.Time and est.JobCost with the stage's suffix bound
+	// pre-added, so the config-list walk reads two 8-byte-stride arrays
+	// (bound compare + one add each) instead of striding whole Estimate
+	// structs. Rebuilt by prepareHot after every prepareLists/Resume
+	// adoption; identical arithmetic in identical order, so search results
+	// are byte-for-byte those of the struct walk.
+	timeBuf []time.Duration
+	costBuf []units.Money
+	stageT  [][]time.Duration
+	stageC  [][]units.Money
+
 	// The frontier: a single binary heap (open) until the arena crosses
 	// shardThreshold, per-stage heaps (shards) afterwards.
 	open     []openItem
@@ -175,6 +187,7 @@ func (s *Searcher) search(in SearchInput, recycle *RetainedSearch, retain bool) 
 	// ablation filter applied.
 	s.prepareLists(in, m)
 	s.prepareBounds(in.Hop, m)
+	s.prepareHot(m)
 
 	res := SearchResult{}
 	s.best.reset(k) // the K cheapest feasible full paths
@@ -279,16 +292,25 @@ func (s *Searcher) runLoop(gslo, hop time.Duration, maxExp int, res *SearchResul
 		if j > 0 {
 			hopj = hop
 		}
-		list := s.lists[j]
-		for idx := range list {
-			est := &list[idx]
-			t := n.time + hopj + est.Time
-			tLow := t + minTimeAfter[j+1]
+		// Vectorized walk: listT/listC hold est.Time/est.JobCost with the
+		// stage's suffix bound pre-added (see prepareHot), so each pruned
+		// candidate costs one add and one compare per blade; t and c are
+		// recovered exactly by subtracting the constant back out (integer
+		// arithmetic, so (x+s)-s == x).
+		listT := s.stageT[j]
+		listC := s.stageC[j]
+		sufT := minTimeAfter[j+1]
+		sufC := minCostAfter[j+1]
+		tBase := n.time + hopj
+		cBase := n.cost
+		for idx := range listT {
+			tLow := tBase + listT[idx]
 			if tLow > gslo {
 				break // blade 1: lists are latency-ascending
 			}
-			c := n.cost + est.JobCost
-			rscLow := c + minCostAfter[j+1]
+			t := tLow - sufT
+			rscLow := cBase + listC[idx]
+			c := rscLow - sufC
 			// Blade 2: cost-based pruning. Algorithm 1 prunes against
 			// minRSC, a list of the K best rscFastest bounds; as printed
 			// that list can double-count completions of nested prefixes
@@ -305,7 +327,7 @@ func (s *Searcher) runLoop(gslo, hop time.Duration, maxExp int, res *SearchResul
 				continue
 			}
 			if j == m-1 {
-				p := s.buildPath(it.idx, est, t, c)
+				p := s.buildPath(it.idx, &s.lists[j][idx], t, c)
 				if rec != nil {
 					rec.complete(p)
 				}
@@ -378,6 +400,43 @@ func (s *Searcher) prepareLists(in SearchInput, m int) {
 	s.estBuf = buf
 	s.lists = lists
 	s.inBuf = inBuf
+}
+
+// prepareHot rebuilds the vectorized per-stage views of s.lists for
+// runLoop: flat arrays of est.Time + minTimeAfter[j+1] and est.JobCost +
+// minCostAfter[j+1], backed by reusable flat buffers. Must run after
+// prepareBounds (it folds the suffix bounds in) and again whenever the
+// lists are replaced wholesale (Resume's state adoption).
+func (s *Searcher) prepareHot(m int) {
+	total := 0
+	for j := 0; j < m; j++ {
+		total += len(s.lists[j])
+	}
+	if cap(s.timeBuf) < total {
+		s.timeBuf = make([]time.Duration, 0, total)
+	}
+	if cap(s.costBuf) < total {
+		s.costBuf = make([]units.Money, 0, total)
+	}
+	tb := s.timeBuf[:0]
+	cb := s.costBuf[:0]
+	st := s.stageT[:0]
+	sc := s.stageC[:0]
+	minTimeAfter := s.minTimeAfter[:m+1]
+	minCostAfter := s.minCostAfter[:m+1]
+	for j := 0; j < m; j++ {
+		list := s.lists[j]
+		sufT := minTimeAfter[j+1]
+		sufC := minCostAfter[j+1]
+		start := len(tb)
+		for i := range list {
+			tb = append(tb, list[i].Time+sufT)
+			cb = append(cb, list[i].JobCost+sufC)
+		}
+		st = append(st, tb[start:len(tb):len(tb)])
+		sc = append(sc, cb[start:len(cb):len(cb)])
+	}
+	s.timeBuf, s.costBuf, s.stageT, s.stageC = tb, cb, st, sc
 }
 
 // overConstrainedFallback picks the single-config list of a stage whose
@@ -1013,6 +1072,7 @@ func (s *Searcher) Resume(st *RetainedSearch, gslo time.Duration) (res SearchRes
 	s.lists = append(s.lists[:0], st.lists...)
 	s.minTimeAfter = append(s.minTimeAfter[:0], st.minTimeAfter...)
 	s.minCostAfter = append(s.minCostAfter[:0], st.minCostAfter...)
+	s.prepareHot(len(s.lists))
 	s.arena = st.arena
 	scratchOpen, scratchSusp, scratchComps := s.open, s.rec.susp, s.rec.comps
 	restoreScratch := func() {

@@ -81,6 +81,157 @@ func TestOverConstrainedFilterExcludesEverything(t *testing.T) {
 	}
 }
 
+// comparePaths asserts two results agree path for path (feasibility, cost,
+// time and the exact configurations). Both engines share pathLess's content
+// total order and the drainPaths fallback, so full equality is the
+// contract, not just cost agreement.
+func comparePaths(t *testing.T, desc string, got, want SearchResult) {
+	t.Helper()
+	if got.Feasible != want.Feasible || len(got.Paths) != len(want.Paths) {
+		t.Fatalf("%s: feasible=%v/%d paths vs oracle %v/%d",
+			desc, got.Feasible, len(got.Paths), want.Feasible, len(want.Paths))
+	}
+	for i := range got.Paths {
+		g, w := got.Paths[i], want.Paths[i]
+		if g.Cost != w.Cost || g.Time != w.Time {
+			t.Fatalf("%s: path %d (cost %v, time %v) vs oracle (cost %v, time %v)",
+				desc, i, g.Cost, g.Time, w.Cost, w.Time)
+		}
+		for si := range g.Ests {
+			if g.Ests[si].Config != w.Ests[si].Config {
+				t.Fatalf("%s: path %d stage %d config %v vs oracle %v",
+					desc, i, si, g.Ests[si].Config, w.Ests[si].Config)
+			}
+		}
+	}
+}
+
+// TestDegenerateShardRetainResume is the degenerate-shard case of the
+// retained-resume machinery: the frontier is forced into per-stage shard
+// mode (lowered shardThreshold) on inputs where one stage's constraints
+// admit nothing — its list is overConstrainedFallback's single config, so
+// that stage's sub-frontier drains immediately and stays empty while the
+// other shards carry the whole search. A SearchRetain at a loose target is
+// then Resumed down a tightening GSLO ladder; every answer (resumed or the
+// cold fallback the cache would run when Resume declines) must match the
+// exhaustive oracle at that target.
+func TestDegenerateShardRetainResume(t *testing.T) {
+	defer func(old int) { shardThreshold = old }(shardThreshold)
+	// Low enough that even a blade-pruned arena (the cost blade engages
+	// within a handful of expansions at a loose target) crosses it.
+	shardThreshold = 32
+
+	o := testOracle() // 256-config space: enough arena to cross the threshold
+	onlyBatch4 := func(c profile.Config) bool { return c.Batch == 4 }
+	tables := tablesFor(o, profile.SuperResolution, profile.Segmentation,
+		profile.Classification, profile.Deblur)
+	// MaxFirstBatch 2 ∩ batch==4 is empty: stage 0 degenerates to the
+	// fallback's single config; stages 1–3 keep their batch-4 lists.
+	base := SearchInput{Tables: tables, GSLO: 4 * time.Second, K: 5,
+		MaxFirstBatch: 2, Filter: onlyBatch4}
+
+	s := NewSearcher()
+	res, st := s.SearchRetain(base, nil)
+	if !s.sharded {
+		t.Fatalf("frontier never sharded (arena %d ≤ threshold %d); the degenerate case needs shard mode",
+			len(s.arena), shardThreshold)
+	}
+	comparePaths(t, "retain at 4s", res, BruteForceSearch(base))
+	if st == nil {
+		t.Fatal("loose search was not retained")
+	}
+
+	for _, gslo := range []time.Duration{
+		3 * time.Second, 2 * time.Second, 1500 * time.Millisecond,
+		time.Second, 700 * time.Millisecond, 300 * time.Millisecond,
+	} {
+		in := base
+		in.GSLO = gslo
+		desc := fmt.Sprintf("resume at %v", gslo)
+		want := BruteForceSearch(in)
+		if st != nil && !st.Dead() {
+			if got, _, ok := s.Resume(st, gslo); ok {
+				comparePaths(t, desc, got, want)
+				if st.Dead() {
+					st = nil
+				}
+				continue
+			}
+			st = nil // Resume declined: the state is consumed
+		}
+		// The cache's cold fallback: re-retain at the tighter target so
+		// the ladder keeps exercising resume below it.
+		var got SearchResult
+		got, st = s.SearchRetain(in, nil)
+		comparePaths(t, desc+" (cold)", got, want)
+	}
+}
+
+// TestDegenerateShardResumeRandomized sweeps randomized retain/resume
+// ladders with the shard threshold low enough that even SmallSpace
+// searches run sharded, over filters that leave stages empty (fallback
+// lists), nearly empty, or untouched. Every rung must match the oracle —
+// resumed, answered-from-retained or searched cold alike.
+func TestDegenerateShardResumeRandomized(t *testing.T) {
+	defer func(old int) { shardThreshold = old }(shardThreshold)
+	shardThreshold = 8
+
+	o := smallOracle()
+	names := []string{profile.SuperResolution, profile.Segmentation, profile.Deblur,
+		profile.Classification, profile.BackgroundRemoval, profile.DepthRecognition}
+	filters := []struct {
+		id string
+		f  func(profile.Config) bool
+	}{
+		{"nil", nil},
+		{"batch4", func(c profile.Config) bool { return c.Batch == 4 }},
+		{"gpu4", func(c profile.Config) bool { return c.GPU == 4 }},
+		{"none", func(profile.Config) bool { return false }},
+	}
+	rng := rand.New(rand.NewSource(2))
+	s := NewSearcher()
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(2)
+		fns := make([]string, m)
+		for i := range fns {
+			fns[i] = names[rng.Intn(len(names))]
+		}
+		fl := filters[rng.Intn(len(filters))]
+		in := SearchInput{
+			Tables:        tablesFor(o, fns...),
+			GSLO:          time.Duration(500+rng.Intn(2500)) * time.Millisecond,
+			MaxFirstBatch: rng.Intn(4),
+			K:             1 + rng.Intn(5),
+			Hop:           time.Duration(rng.Intn(3)) * time.Millisecond,
+			Filter:        fl.f,
+		}
+		res, st := s.SearchRetain(in, nil)
+		desc := fmt.Sprintf("trial %d fns=%v filter=%s gslo=%v maxBatch=%d k=%d",
+			trial, fns, fl.id, in.GSLO, in.MaxFirstBatch, in.K)
+		comparePaths(t, desc, res, BruteForceSearch(in))
+		gslo := in.GSLO
+		for rung := 0; rung < 4; rung++ {
+			gslo = gslo * time.Duration(60+rng.Intn(35)) / 100
+			in.GSLO = gslo
+			rd := fmt.Sprintf("%s rung %d gslo=%v", desc, rung, gslo)
+			want := BruteForceSearch(in)
+			if st != nil && !st.Dead() {
+				if got, _, ok := s.Resume(st, gslo); ok {
+					comparePaths(t, rd, got, want)
+					if st.Dead() {
+						st = nil
+					}
+					continue
+				}
+				st = nil
+			}
+			var got SearchResult
+			got, st = s.SearchRetain(in, nil)
+			comparePaths(t, rd+" (cold)", got, want)
+		}
+	}
+}
+
 // TestSearchMatchesBruteForceOverConstrained drives randomized inputs —
 // including filters and batch bounds that leave stages empty or nearly so —
 // through Search and the exhaustive oracle. Beyond cost agreement it checks

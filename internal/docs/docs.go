@@ -10,6 +10,7 @@ package docs
 import (
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -40,7 +41,156 @@ func Check(root string) []error {
 	}
 	errs = append(errs, checkReadmeMentionsArchitecture(root)...)
 	errs = append(errs, checkUsageBlock(root)...)
+	errs = append(errs, CheckPackageMap(root)...)
 	return errs
+}
+
+// modulePath is the repository's Go module path; package names in
+// ARCHITECTURE.md's map are relative to it.
+const modulePath = "github.com/esg-sched/esg"
+
+// PackageMapEdges is the machine-readable form of ARCHITECTURE.md's
+// package-map arrows: each pair asserts that the first package imports the
+// second (directly or transitively), which CheckPackageMap verifies
+// against the real import graph (`go list -deps`). Rows where the diagram
+// draws an interface boundary (core and the baselines under sched) are
+// encoded in the code's import direction — the implementations import the
+// interface package. Editing the diagram means editing this list, and vice
+// versa; the check fails when either drifts from the code.
+var PackageMapEdges = [][2]string{
+	{"cmd/esgbench", "internal/cli"},
+	{"cmd/esgbench", "internal/experiments"},
+	{"internal/experiments", "internal/controller"},
+	{"internal/experiments", "internal/metrics"},
+	{"internal/controller", "internal/sched"},
+	{"internal/controller", "internal/queue"},
+	{"internal/controller", "internal/simulate"},
+	{"internal/controller", "internal/cluster"},
+	{"internal/core", "internal/sched"},
+	{"internal/core", "internal/profile"},
+	{"internal/core", "internal/dominator"},
+	{"internal/baselines", "internal/sched"},
+	{"internal/sched", "internal/cluster"},
+	{"internal/sched", "internal/queue"},
+	{"internal/sched", "internal/profile"},
+	{"internal/queue", "internal/workflow"},
+	{"internal/workflow", "internal/profile"},
+	{"internal/profile", "internal/pricing"},
+	{"internal/profile", "internal/units"},
+	{"internal/cluster", "internal/units"},
+	{"internal/workload", "internal/rng"},
+}
+
+// PackageMapAntiEdges pin the layering the map draws: the first package
+// must NOT depend on the second, even transitively. These are the edges
+// whose accidental introduction would silently invert a layer (a substrate
+// growing a dependency on its orchestrator) while the diagram still drew
+// the old picture.
+var PackageMapAntiEdges = [][2]string{
+	{"internal/sched", "internal/controller"},
+	{"internal/cluster", "internal/sched"},
+	{"internal/simulate", "internal/controller"},
+	{"internal/queue", "internal/controller"},
+	{"internal/core", "internal/experiments"},
+	{"internal/profile", "internal/sched"},
+	{"internal/metrics", "internal/controller"},
+}
+
+// pkgTokenRE matches package paths named inside the package-map diagram.
+var pkgTokenRE = regexp.MustCompile(`(?:cmd|internal)/[a-z0-9]+(?:/[a-z0-9]+)*`)
+
+// CheckPackageMap verifies ARCHITECTURE.md's package map against the real
+// import graph: every package path drawn in the map's code block must be a
+// package of this module, every edge in PackageMapEdges must hold in
+// `go list -deps`, and every anti-edge must stay absent.
+func CheckPackageMap(root string) []error {
+	deps, errs := importGraph(root)
+	if deps == nil {
+		return errs
+	}
+	for _, pkg := range packagesInMap(root, &errs) {
+		if _, ok := deps[modulePath+"/"+pkg]; !ok {
+			errs = append(errs, fmt.Errorf("ARCHITECTURE.md: package map names %q, which is not a package of this module", pkg))
+		}
+	}
+	for _, e := range PackageMapEdges {
+		from, to := modulePath+"/"+e[0], modulePath+"/"+e[1]
+		d, ok := deps[from]
+		if !ok {
+			errs = append(errs, fmt.Errorf("package map edge %s -> %s: %q is not a package of this module", e[0], e[1], e[0]))
+			continue
+		}
+		if !d[to] {
+			errs = append(errs, fmt.Errorf("package map edge %s -> %s no longer holds (not in `go list -deps %s`)", e[0], e[1], e[0]))
+		}
+	}
+	for _, e := range PackageMapAntiEdges {
+		from, to := modulePath+"/"+e[0], modulePath+"/"+e[1]
+		if d, ok := deps[from]; ok && d[to] {
+			errs = append(errs, fmt.Errorf("package map layering violated: %s now depends on %s", e[0], e[1]))
+		}
+	}
+	return errs
+}
+
+// importGraph builds each module package's transitive dependency set from
+// one `go list` invocation run at root.
+func importGraph(root string) (map[string]map[string]bool, []error) {
+	cmd := exec.Command("go", "list", "-f", `{{.ImportPath}}	{{range .Deps}}{{.}} {{end}}`, "./...")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, []error{fmt.Errorf("package map: go list: %s", msg)}
+	}
+	graph := make(map[string]map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		pkg, rest, _ := strings.Cut(line, "\t")
+		set := make(map[string]bool)
+		for _, d := range strings.Fields(rest) {
+			set[d] = true
+		}
+		graph[pkg] = set
+	}
+	return graph, nil
+}
+
+// packagesInMap extracts every package path drawn in ARCHITECTURE.md's
+// "Package map" fenced code block.
+func packagesInMap(root string, errs *[]error) []string {
+	data, err := os.ReadFile(filepath.Join(root, "ARCHITECTURE.md"))
+	if err != nil {
+		*errs = append(*errs, fmt.Errorf("ARCHITECTURE.md: %v", err))
+		return nil
+	}
+	s := string(data)
+	start := strings.Index(s, "## Package map")
+	if start < 0 {
+		*errs = append(*errs, fmt.Errorf("ARCHITECTURE.md: no \"## Package map\" section"))
+		return nil
+	}
+	s = s[start:]
+	open := strings.Index(s, "```")
+	if open < 0 {
+		*errs = append(*errs, fmt.Errorf("ARCHITECTURE.md: package map has no fenced diagram"))
+		return nil
+	}
+	s = s[open+3:]
+	if close := strings.Index(s, "```"); close >= 0 {
+		s = s[:close]
+	}
+	seen := make(map[string]bool)
+	var pkgs []string
+	for _, p := range pkgTokenRE.FindAllString(s, -1) {
+		if !seen[p] {
+			seen[p] = true
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs
 }
 
 // checkLinks verifies every relative link target in file exists, and — for

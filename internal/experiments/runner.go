@@ -66,6 +66,15 @@ type Runner struct {
 	// Overhead is how scheduling overhead is charged (default: measured
 	// wall clock, as the paper does).
 	Overhead sched.OverheadMode
+	// Wall is the wall-clock sink behind every host-time artifact cell
+	// (scale table, §5.3 search times). Disable it and those cells read
+	// exactly zero, making full output files byte-comparable across runs.
+	Wall metrics.Wall
+	// CellShards is each cell's within-cell planning parallelism: the
+	// controller pre-plans ready queues over this many shards per pass
+	// (see controller.Config.CellShards). 0 or 1 is fully sequential;
+	// results are byte-identical either way.
+	CellShards int
 	// Log receives progress lines (nil for silence).
 	Log io.Writer
 
@@ -149,6 +158,7 @@ func (r *Runner) config(level workload.Level, slo workflow.SLOLevel) controller.
 		Seed:          r.Seed,
 		PlanCache:     r.PlanCache,
 		PlanCacheSize: r.PlanCacheSize,
+		CellShards:    r.CellShards,
 	}
 	if r.Scale < 1 {
 		tr := r.Trace(level)
@@ -262,7 +272,7 @@ func (r *Runner) runCell(c Cell) (*metrics.Result, error) {
 		return nil, err
 	}
 	r.logf("running %s ...", c.Key)
-	start := time.Now()
+	wall := r.Wall.Start()
 	cfg := r.config(c.Level, c.SLO)
 	if c.Tune != nil {
 		c.Tune(&cfg)
@@ -275,7 +285,7 @@ func (r *Runner) runCell(c Cell) (*metrics.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.logf("  %s (%.1fs wall)", res.Summary(), time.Since(start).Seconds())
+	r.logf("  %s (%.1fs wall)", res.Summary(), wall.Seconds())
 	return res, nil
 }
 

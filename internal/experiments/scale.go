@@ -138,11 +138,11 @@ func ScaleScenario(r *Runner, spec ScaleSpec) (*Table, error) {
 	}
 	for _, name := range spec.Schedulers {
 		cell := r.ScaleCell(name, spec)
-		start := time.Now()
+		wt := r.Wall.Start()
 		if err := r.Resolve(cell); err != nil {
 			return nil, err
 		}
-		wall := time.Since(start).Seconds()
+		wall := wt.Seconds()
 		res, err := r.cached(cell.Key)
 		if err != nil {
 			return nil, err

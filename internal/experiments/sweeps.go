@@ -6,6 +6,7 @@ import (
 
 	"github.com/esg-sched/esg/internal/baselines/orion"
 	"github.com/esg-sched/esg/internal/core"
+	"github.com/esg-sched/esg/internal/metrics"
 	"github.com/esg-sched/esg/internal/pricing"
 	"github.com/esg-sched/esg/internal/profile"
 	"github.com/esg-sched/esg/internal/sched"
@@ -145,8 +146,10 @@ func Fig11(r *Runner) (*Table, error) {
 
 // Sec53 reproduces the overhead analysis of §5.3/§5.4: ESG_1Q search time
 // versus exhaustive enumeration on 256-configuration functions, for group
-// sizes 3 and 4.
-func Sec53() *Table {
+// sizes 3 and 4. The millisecond columns are wall-clock readings taken
+// from w (nil = an enabled sink); a disabled sink zeroes them so the
+// whole table diffs byte-identically across runs.
+func Sec53(w *metrics.Wall) *Table {
 	t := &Table{
 		ID:      "sec53",
 		Title:   "Search time: ESG_1Q (A* + dual-blade pruning) vs brute force, 256 configs/function",
@@ -169,13 +172,13 @@ func Sec53() *Table {
 		}
 		in := core.SearchInput{Tables: tables, GSLO: gslo, K: core.DefaultK}
 
-		start := time.Now()
+		wt := w.Start()
 		res := core.Search(in)
-		esgMS := float64(time.Since(start)) / float64(time.Millisecond)
+		esgMS := wt.Millis()
 
-		start = time.Now()
+		wt = w.Start()
 		bf := core.BruteForceSearch(in)
-		bfMS := float64(time.Since(start)) / float64(time.Millisecond)
+		bfMS := wt.Millis()
 
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", g),

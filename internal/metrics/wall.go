@@ -1,0 +1,58 @@
+package metrics
+
+import "time"
+
+// Wall is the single wall-clock sink behind every host-time reading that
+// can end up in an artifact (the scale table's "Wall (s)" column, the
+// §5.3 search-time milliseconds). Artifacts are otherwise deterministic
+// at a fixed seed; wall cells are the one exception, and routing them all
+// through one sink makes that exception switchable: Disable() zeroes
+// every reading, so two runs' full output files — not "full files minus
+// the Wall column" — compare byte-for-byte. CI's determinism matrix and
+// golden diffs run with the sink disabled; humans benchmarking leave it
+// on.
+//
+// The zero value is an enabled sink. A nil *Wall also reads as enabled,
+// so helpers that only sometimes receive a sink need no guards.
+type Wall struct {
+	off bool
+}
+
+// Disable zeroes every reading taken from this sink from now on.
+func (w *Wall) Disable() { w.off = true }
+
+// Enabled reports whether readings are live.
+func (w *Wall) Enabled() bool { return w == nil || !w.off }
+
+// Start begins one wall-clock measurement. On a disabled sink the timer
+// is inert and every reading is exactly zero.
+func (w *Wall) Start() WallTimer {
+	if !w.Enabled() {
+		return WallTimer{}
+	}
+	return WallTimer{start: time.Now(), live: true}
+}
+
+// WallTimer is one measurement taken from a Wall sink.
+type WallTimer struct {
+	start time.Time
+	live  bool
+}
+
+// Seconds returns the elapsed wall time in seconds, or 0 when the sink
+// was disabled at Start.
+func (t WallTimer) Seconds() float64 {
+	if !t.live {
+		return 0
+	}
+	return time.Since(t.start).Seconds()
+}
+
+// Millis returns the elapsed wall time in milliseconds, or 0 when the
+// sink was disabled at Start.
+func (t WallTimer) Millis() float64 {
+	if !t.live {
+		return 0
+	}
+	return float64(time.Since(t.start)) / float64(time.Millisecond)
+}
