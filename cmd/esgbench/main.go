@@ -24,6 +24,7 @@ import (
 
 	"github.com/esg-sched/esg/internal/cli"
 	"github.com/esg-sched/esg/internal/experiments"
+	"github.com/esg-sched/esg/internal/fault"
 	"github.com/esg-sched/esg/internal/sched"
 )
 
@@ -32,6 +33,10 @@ func main() {
 	fs := cli.NewFlagSet(&opts)
 	fs.Usage = func() { fmt.Fprint(os.Stderr, cli.UsageText()) }
 	fs.Parse(os.Args[1:]) // ExitOnError: parse failures and -h exit here
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "esgbench: %v (run esgbench -h for flags)\n", err)
+		os.Exit(2)
+	}
 
 	stopProfile := func() {}
 	if opts.CPUProfile != "" {
@@ -62,8 +67,11 @@ func main() {
 	if opts.Scenario == "scale" && !contains(targets, "scale") {
 		targets = append(targets, "scale") // keep any explicit targets
 	}
+	if opts.Scenario == "chaos" && !contains(targets, "chaos") {
+		targets = append(targets, "chaos")
+	}
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53 scale (run esgbench -h for flags)")
+		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53 scale chaos (run esgbench -h for flags)")
 		os.Exit(2)
 	}
 
@@ -95,6 +103,7 @@ func main() {
 	// Zero fields select ScaleScenario's defaults (256 nodes, 100×,
 	// 30000 × -scale requests, the adaptive schedulers).
 	scaleSpec = experiments.ScaleSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Replan: opts.Replan}
+	faultSpec = opts.FaultSpec()
 	var progress io.Writer = os.Stderr
 	if opts.Quiet {
 		progress = nil
@@ -134,13 +143,19 @@ func contains(list []string, s string) bool {
 }
 
 // scaleSpec carries the -nodes/-load/-requests/-replan overrides of the
-// scale scenario (zero fields select the defaults).
-var scaleSpec experiments.ScaleSpec
+// scale scenario (zero fields select the defaults); faultSpec carries the
+// chaos scenario's fault knobs (all zero = no fault injection).
+var (
+	scaleSpec experiments.ScaleSpec
+	faultSpec fault.Spec
+)
 
 func run(r *experiments.Runner, target string) (*experiments.Table, error) {
 	switch target {
 	case "scale":
 		return experiments.ScaleScenario(r, scaleSpec)
+	case "chaos":
+		return experiments.ChaosScenario(r, scaleSpec, faultSpec)
 	case "table1":
 		return experiments.Table1(), nil
 	case "table3":
@@ -166,6 +181,6 @@ func run(r *experiments.Runner, target string) (*experiments.Table, error) {
 	case "sec53":
 		return experiments.Sec53(&r.Wall), nil
 	default:
-		return nil, fmt.Errorf("unknown target (want all, table1, table3, table4, fig5..fig12, sec53, scale)")
+		return nil, fmt.Errorf("unknown target (want all, table1, table3, table4, fig5..fig12, sec53, scale, chaos)")
 	}
 }

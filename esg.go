@@ -56,6 +56,7 @@ import (
 	"github.com/esg-sched/esg/internal/controller"
 	"github.com/esg-sched/esg/internal/core"
 	"github.com/esg-sched/esg/internal/dominator"
+	"github.com/esg-sched/esg/internal/fault"
 	"github.com/esg-sched/esg/internal/metrics"
 	"github.com/esg-sched/esg/internal/pricing"
 	"github.com/esg-sched/esg/internal/profile"
@@ -137,6 +138,14 @@ type (
 	AppSummary = metrics.AppSummary
 	// InstanceRecord is one completed workflow instance's outcome.
 	InstanceRecord = metrics.InstanceRecord
+
+	// FaultSpec declares a run's failure model (invoker MTBF/MTTR,
+	// transient/cold-start failure rates, straggler slowdowns); set it via
+	// RunConfig.Faults. The zero value injects nothing.
+	FaultSpec = fault.Spec
+	// FaultStats aggregates a run's fault-injection outcomes
+	// (Result.Faults).
+	FaultStats = metrics.FaultStats
 
 	// ESGOption configures the ESG scheduler.
 	ESGOption = core.Option

@@ -7,7 +7,11 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"strings"
+	"time"
+
+	"github.com/esg-sched/esg/internal/fault"
 )
 
 // Options carries every esgbench flag. Zero values of the scale-scenario
@@ -28,6 +32,15 @@ type Options struct {
 	Requests     int
 	Replan       float64
 	CPUProfile   string
+
+	// Chaos-scenario fault knobs (valid only with -scenario chaos; all
+	// zero means no fault injection, which is byte-identical to scale).
+	MTBF            time.Duration
+	MTTR            time.Duration
+	TaskFail        float64
+	ColdFail        float64
+	Straggler       float64
+	StragglerFactor float64
 }
 
 // synopsis heads the help text; the flag defaults below it are printed by
@@ -35,10 +48,13 @@ type Options struct {
 const synopsis = `usage: esgbench [flags] all
        esgbench [flags] table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sec53
        esgbench [flags] -scenario scale
+       esgbench [flags] -scenario chaos -mtbf 30s -mttr 2s -taskfail 0.01
 
 Targets name the paper's §5 artifacts to regenerate ("all" expands to every
 one of them); -scenario scale instead runs the production-scale stress
-family (see the -scenario flag). Flags:
+family, and -scenario chaos runs it under deterministic fault injection
+(invoker crash/recovery churn, task failures, stragglers — see the fault
+flags). Flags:
 
 `
 
@@ -46,7 +62,7 @@ family (see the -scenario flag). Flags:
 // (flag.ExitOnError, so -h prints the usage and exits 0).
 func NewFlagSet(o *Options) *flag.FlagSet {
 	fs := flag.NewFlagSet("esgbench", flag.ExitOnError)
-	fs.Uint64Var(&o.Seed, "seed", 42, "random seed; every random stream (traces, noise, offline training) derives from it")
+	fs.Uint64Var(&o.Seed, "seed", 42, "random seed; every random stream (traces, noise, offline training, fault schedules) derives from it")
 	fs.Float64Var(&o.Scale, "scale", 1.0, "trace-size multiplier; 1.0 is the full evaluation")
 	fs.IntVar(&o.Parallel, "parallel", 1, "worker-pool size for independent scenario runs (0 = GOMAXPROCS); output is byte-identical to -parallel 1 at the same seed when -overhead is not \"measured\"")
 	fs.IntVar(&o.CellShards, "cellshards", 1, "within-cell planning shards: each controller pre-plans ready queues over this many goroutines per scheduling pass (0 = GOMAXPROCS, 1 = sequential); requires a scheduler that opts into concurrent planning (ESG, INFless, FaST-GShare — others run sequentially), output is byte-identical to -cellshards 1 at the same seed")
@@ -55,13 +71,65 @@ func NewFlagSet(o *Options) *flag.FlagSet {
 	fs.StringVar(&o.Overhead, "overhead", "measured", "how scheduling overhead is charged on the simulated clock: measured (paper default, wall clock — run-dependent), none, or fixed")
 	fs.BoolVar(&o.Wall, "wall", true, "take wall-clock readings for the artifacts' host-time cells (the scale table's Wall column, sec53's ms columns); -wall=false zeroes them so two runs' full output files diff byte-identically")
 	fs.BoolVar(&o.Quiet, "quiet", false, "suppress per-scenario progress and counter summaries on stderr")
-	fs.StringVar(&o.Scenario, "scenario", "paper", "scenario family: paper (the §5 artifacts) or scale — the production-scale stress run (256 heterogeneous nodes, 100x the heavy arrival rate, 8 concurrent applications)")
-	fs.IntVar(&o.Nodes, "nodes", 0, "scale scenario: invoker count (default 256)")
-	fs.Float64Var(&o.Load, "load", 0, "scale scenario: arrival-rate multiplier over heavy (default 100)")
-	fs.IntVar(&o.Requests, "requests", 0, "scale scenario: trace length (default 30000 x -scale)")
-	fs.Float64Var(&o.Replan, "replan", 0, "scale scenario: re-plan pressure multiplier — divides the 2ms scheduling quantum so queues are re-planned that much more often (default 1)")
+	fs.StringVar(&o.Scenario, "scenario", "paper", "scenario family: paper (the §5 artifacts), scale — the production-scale stress run (256 heterogeneous nodes, 100x the heavy arrival rate, 8 concurrent applications) — or chaos, the scale run under deterministic fault injection")
+	fs.IntVar(&o.Nodes, "nodes", 0, "scale/chaos scenario: invoker count (default 256)")
+	fs.Float64Var(&o.Load, "load", 0, "scale/chaos scenario: arrival-rate multiplier over heavy (default 100)")
+	fs.IntVar(&o.Requests, "requests", 0, "scale/chaos scenario: trace length (default 30000 x -scale)")
+	fs.Float64Var(&o.Replan, "replan", 0, "scale/chaos scenario: re-plan pressure multiplier — divides the 2ms scheduling quantum so queues are re-planned that much more often (default 1)")
+	fs.DurationVar(&o.MTBF, "mtbf", 0, "chaos scenario: mean time between invoker crashes, exponentially distributed per invoker (0 = no crashes)")
+	fs.DurationVar(&o.MTTR, "mttr", 0, "chaos scenario: mean invoker recovery time (default 10s when -mtbf is set)")
+	fs.Float64Var(&o.TaskFail, "taskfail", 0, "chaos scenario: per-task transient failure probability in [0,1]")
+	fs.Float64Var(&o.ColdFail, "coldfail", 0, "chaos scenario: per-cold-start failure probability in [0,1]")
+	fs.Float64Var(&o.Straggler, "straggler", 0, "chaos scenario: per-task straggler probability in [0,1]; stragglers run -stragglerfactor slower and are re-dispatched at the controller's timeout")
+	fs.Float64Var(&o.StragglerFactor, "stragglerfactor", 0, "chaos scenario: execution-time multiplier of stragglers (default 8)")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	return fs
+}
+
+// FaultSpec assembles the fault-injection spec from the chaos knobs.
+func (o *Options) FaultSpec() fault.Spec {
+	return fault.Spec{
+		MTBF:            o.MTBF,
+		MTTR:            o.MTTR,
+		TaskFailRate:    o.TaskFail,
+		ColdFailRate:    o.ColdFail,
+		StragglerRate:   o.Straggler,
+		StragglerFactor: o.StragglerFactor,
+	}
+}
+
+// Validate rejects flag combinations the scenarios would misinterpret:
+// negative scenario knobs, an unknown -scenario, and fault knobs outside
+// -scenario chaos (where they would be silently ignored).
+func (o *Options) Validate() error {
+	switch o.Scenario {
+	case "paper", "scale", "chaos":
+	default:
+		return fmt.Errorf("unknown -scenario %q (want paper, scale or chaos)", o.Scenario)
+	}
+	if o.Nodes < 0 {
+		return fmt.Errorf("-nodes must be >= 0 (0 selects the default), got %d", o.Nodes)
+	}
+	if o.Load < 0 {
+		return fmt.Errorf("-load must be >= 0 (0 selects the default), got %g", o.Load)
+	}
+	if o.Requests < 0 {
+		return fmt.Errorf("-requests must be >= 0 (0 selects the default), got %d", o.Requests)
+	}
+	if o.Replan < 0 {
+		return fmt.Errorf("-replan must be >= 0 (0 selects the default), got %g", o.Replan)
+	}
+	if o.Scale <= 0 {
+		return fmt.Errorf("-scale must be > 0, got %g", o.Scale)
+	}
+	spec := o.FaultSpec()
+	if o.Scenario != "chaos" && spec != (fault.Spec{}) {
+		return fmt.Errorf("fault flags (-mtbf, -mttr, -taskfail, -coldfail, -straggler, -stragglerfactor) require -scenario chaos")
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // UsageText renders the canonical esgbench help text: the synopsis plus

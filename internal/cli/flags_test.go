@@ -51,7 +51,8 @@ func TestUsageTextCoversEveryFlag(t *testing.T) {
 	var o Options
 	fs := NewFlagSet(&o)
 	for _, name := range []string{"seed", "scale", "parallel", "plancache", "baselinememo",
-		"overhead", "quiet", "scenario", "nodes", "load", "requests", "replan", "cpuprofile"} {
+		"overhead", "quiet", "scenario", "nodes", "load", "requests", "replan", "cpuprofile",
+		"mtbf", "mttr", "taskfail", "coldfail", "straggler", "stragglerfactor"} {
 		if !strings.Contains(text, "-"+name) {
 			t.Errorf("usage text missing flag -%s", name)
 		}
@@ -61,5 +62,53 @@ func TestUsageTextCoversEveryFlag(t *testing.T) {
 	}
 	if !strings.Contains(text, "usage: esgbench") {
 		t.Error("usage text missing synopsis")
+	}
+}
+
+// TestValidate pins the flag-validation surface: nonsense values produce a
+// clear usage error instead of a deep panic or a silently absurd run, and
+// chaos knobs are rejected outside -scenario chaos.
+func TestValidate(t *testing.T) {
+	parse := func(t *testing.T, args ...string) error {
+		t.Helper()
+		var o Options
+		fs := NewFlagSet(&o)
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("parse %v: %v", args, err)
+		}
+		return o.Validate()
+	}
+	good := [][]string{
+		nil,
+		{"-scenario", "scale", "-nodes", "64", "-load", "10", "-requests", "1000", "-replan", "4"},
+		{"-scenario", "chaos"},
+		{"-scenario", "chaos", "-mtbf", "2s", "-mttr", "500ms", "-taskfail", "0.02",
+			"-coldfail", "0.01", "-straggler", "0.01", "-stragglerfactor", "8"},
+	}
+	for _, args := range good {
+		if err := parse(t, args...); err != nil {
+			t.Errorf("valid flags %v rejected: %v", args, err)
+		}
+	}
+	bad := map[string][]string{
+		"unknown scenario":          {"-scenario", "bogus"},
+		"negative nodes":            {"-scenario", "scale", "-nodes", "-1"},
+		"negative load":             {"-scenario", "scale", "-load", "-2"},
+		"negative requests":         {"-scenario", "scale", "-requests", "-10"},
+		"negative replan":           {"-scenario", "scale", "-replan", "-1"},
+		"non-positive scale":        {"-scale", "0"},
+		"chaos knob outside chaos":  {"-scenario", "scale", "-mtbf", "2s"},
+		"fail rate outside chaos":   {"-taskfail", "0.1"},
+		"negative mtbf":             {"-scenario", "chaos", "-mtbf", "-1s"},
+		"mttr without mtbf":         {"-scenario", "chaos", "-mttr", "1s"},
+		"task-fail rate above 1":    {"-scenario", "chaos", "-taskfail", "1.5"},
+		"straggler factor below 1":  {"-scenario", "chaos", "-straggler", "0.1", "-stragglerfactor", "0.5"},
+		"negative straggler rate":   {"-scenario", "chaos", "-straggler", "-0.1"},
+		"cold-fail rate below zero": {"-scenario", "chaos", "-coldfail", "-1"},
+	}
+	for name, args := range bad {
+		if err := parse(t, args...); err == nil {
+			t.Errorf("%s (%v) accepted", name, args)
+		}
 	}
 }

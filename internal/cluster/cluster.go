@@ -163,14 +163,28 @@ func (c *Cluster) TotalCapacity() units.Resources {
 	return r
 }
 
-// TotalFree returns the summed free resources at time now.
+// TotalFree returns the summed free resources at time now. Down invokers
+// contribute nothing: their capacity is unreachable until they recover.
 func (c *Cluster) TotalFree(now time.Duration) units.Resources {
 	var r units.Resources
 	for _, inv := range c.Invokers {
-		r = r.Add(inv.Free())
+		if inv.Up() {
+			r = r.Add(inv.Free())
+		}
 	}
 	_ = now
 	return r
+}
+
+// UpInvokers counts the invokers currently serving (not crashed).
+func (c *Cluster) UpInvokers() int {
+	n := 0
+	for _, inv := range c.Invokers {
+		if inv.Up() {
+			n++
+		}
+	}
+	return n
 }
 
 // pruneWarmFleet prunes fn's expired warm containers across every invoker

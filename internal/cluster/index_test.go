@@ -21,7 +21,13 @@ func rebuildIndex(c *Cluster) *fleetIndex {
 	}
 	x := newFleetIndex(shapes) // starts fully free
 	for _, inv := range c.Invokers {
-		x.capacityChanged(inv.ID, inv.Capacity, inv.Free())
+		if inv.Up() {
+			x.capacityChanged(inv.ID, inv.Capacity, inv.Free())
+		} else {
+			// Crashed invokers leave the capacity index entirely (their
+			// ledger is fully free, so the recorded shape is the capacity).
+			x.remove(inv.ID, inv.Capacity)
+		}
 	}
 	x.growFns(c.NumFns())
 	for fn := FnID(0); int(fn) < c.NumFns(); fn++ {

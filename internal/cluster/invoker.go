@@ -38,6 +38,16 @@ type Invoker struct {
 	cpuIntegral float64
 	gpuIntegral float64
 
+	// down marks a crashed invoker (fault injection): it holds no
+	// containers, is absent from every placement index, and rejects all
+	// ledger mutations until Recover.
+	down bool
+	// epoch counts crashes. Deferred container events (pre-warm
+	// completions scheduled before a crash) capture the epoch at schedule
+	// time and no-op when it moved on — the simulation engine has no event
+	// cancellation, so stale closures must self-suppress.
+	epoch uint64
+
 	// Stats.
 	ColdStarts int
 	WarmStarts int
@@ -72,16 +82,38 @@ func (inv *Invoker) ensureFn(fn FnID) {
 	}
 }
 
-// Free returns the currently unallocated resources.
+// Free returns the currently unallocated resources (the raw capacity
+// ledger — a down invoker still reports its ledger, which is fully free;
+// use Up/CanFit for placement decisions).
 func (inv *Invoker) Free() units.Resources { return inv.Capacity.Sub(inv.used) }
 
-// CanFit reports whether r fits in the free resources.
-func (inv *Invoker) CanFit(r units.Resources) bool { return r.Fits(inv.Free()) }
+// CanFit reports whether r fits in the free resources. A down invoker
+// fits nothing, so placement policies that probe a specific node (the
+// home-invoker and predecessor-locality steps) naturally skip it.
+func (inv *Invoker) CanFit(r units.Resources) bool { return !inv.down && r.Fits(inv.Free()) }
+
+// Up reports whether the invoker is serving (not crashed).
+func (inv *Invoker) Up() bool { return !inv.down }
+
+// Epoch returns the invoker's crash epoch. Deferred container events
+// capture it at schedule time and no-op when a crash moved it on.
+func (inv *Invoker) Epoch() uint64 { return inv.epoch }
+
+// checkUp rejects container and ledger mutations on a down invoker: the
+// controller aborts in-flight work before a crash and epoch-guards its
+// deferred events, so reaching a down invoker here is a scheduler bug of
+// the same class as the ledger panics.
+func (inv *Invoker) checkUp(op string) {
+	if inv.down {
+		panic(fmt.Sprintf("invoker %d: %s while down", inv.ID, op))
+	}
+}
 
 // Acquire reserves r at time now. It returns an error if r does not fit —
 // callers are expected to check CanFit first, so an error indicates a
 // scheduler bug.
 func (inv *Invoker) Acquire(r units.Resources, now time.Duration) error {
+	inv.checkUp("Acquire")
 	if !r.NonNegative() {
 		return fmt.Errorf("invoker %d: acquire of negative resources %v", inv.ID, r)
 	}
@@ -99,6 +131,7 @@ func (inv *Invoker) Acquire(r units.Resources, now time.Duration) error {
 
 // Release returns r to the free pool at time now.
 func (inv *Invoker) Release(r units.Resources, now time.Duration) {
+	inv.checkUp("Release")
 	inv.integrate(now)
 	old := inv.Free()
 	inv.used = inv.used.Sub(r)
@@ -187,6 +220,7 @@ func (inv *Invoker) HasContainer(fn FnID, now time.Duration) bool {
 // earliest expiry (the oldest — the ring head); a cold start creates a new
 // (busy) container.
 func (inv *Invoker) StartTask(fn FnID, now time.Duration) (warm bool) {
+	inv.checkUp("StartTask")
 	inv.ensureFn(fn)
 	r := &inv.warm[fn]
 	if r.pruneExpired(now) {
@@ -215,6 +249,7 @@ func (inv *Invoker) StartTask(fn FnID, now time.Duration) (warm bool) {
 // FinishTask releases the task's container back to the idle pool at now,
 // with the configured keep-alive.
 func (inv *Invoker) FinishTask(fn FnID, now time.Duration) {
+	inv.checkUp("FinishTask")
 	inv.checkFn(fn)
 	if int(fn) >= len(inv.busy) || inv.busy[fn] <= 0 {
 		panic(fmt.Sprintf("invoker %d: FinishTask(fn %d) without StartTask", inv.ID, fn))
@@ -229,6 +264,7 @@ func (inv *Invoker) FinishTask(fn FnID, now time.Duration) {
 
 // AddWarm installs an idle warm container (the pre-warmer's effect) at now.
 func (inv *Invoker) AddWarm(fn FnID, now time.Duration) {
+	inv.checkUp("AddWarm")
 	inv.ensureFn(fn)
 	if inv.warm[fn].pruneExpired(now) {
 		inv.noteWarmPool(fn, false)
@@ -241,6 +277,7 @@ func (inv *Invoker) AddWarm(fn FnID, now time.Duration) {
 // demand; FinishWarming adds it to the idle pool when the cold start
 // completes.
 func (inv *Invoker) BeginWarming(fn FnID) {
+	inv.checkUp("BeginWarming")
 	inv.ensureFn(fn)
 	inv.warming[fn]++
 	if inv.warming[fn] == 1 && inv.idx != nil {
@@ -256,6 +293,7 @@ func (inv *Invoker) Warming(fn FnID) bool {
 
 // FinishWarming completes an in-flight pre-warm at time now.
 func (inv *Invoker) FinishWarming(fn FnID, now time.Duration) {
+	inv.checkUp("FinishWarming")
 	inv.checkFn(fn)
 	if int(fn) >= len(inv.warming) || inv.warming[fn] <= 0 {
 		panic(fmt.Sprintf("invoker %d: FinishWarming(fn %d) without BeginWarming", inv.ID, fn))
@@ -265,6 +303,78 @@ func (inv *Invoker) FinishWarming(fn FnID, now time.Duration) {
 		inv.idx.warmingDelta(fn, -1)
 	}
 	inv.AddWarm(fn, now)
+}
+
+// AbortTask destroys a running container of fn — the failure path (task
+// fault or invoker crash): unlike FinishTask the container does not return
+// to the warm pool. The caller releases the task's resources separately,
+// exactly as FinishTask's callers do.
+func (inv *Invoker) AbortTask(fn FnID) {
+	inv.checkUp("AbortTask")
+	inv.checkFn(fn)
+	if int(fn) >= len(inv.busy) || inv.busy[fn] <= 0 {
+		panic(fmt.Sprintf("invoker %d: AbortTask(fn %d) without StartTask", inv.ID, fn))
+	}
+	inv.busy[fn]--
+	if inv.idx != nil {
+		inv.idx.busyDelta(fn, -1)
+	}
+}
+
+// Crash takes the invoker down at now, flushing all container state: every
+// idle warm container is lost (returned as idleFlushed), every in-flight
+// pre-warm is cancelled, and the invoker leaves every placement index until
+// Recover. The caller must have aborted in-flight tasks first (Release +
+// AbortTask per task) — a crash with busy containers or held resources is a
+// controller bug and panics like the other ledger invariants.
+func (inv *Invoker) Crash(now time.Duration) (idleFlushed int) {
+	inv.checkUp("Crash")
+	if !inv.used.Zero() {
+		panic(fmt.Sprintf("invoker %d: Crash with resources still held (%v); abort in-flight tasks first", inv.ID, inv.used))
+	}
+	inv.integrate(now)
+	for fn := range inv.warm {
+		// Count only containers still alive at the crash: expired-but-
+		// unpruned ring entries are not lost capacity, and pruning first
+		// keeps the count independent of when lazy prunes last ran.
+		if inv.warm[fn].pruneExpired(now) {
+			inv.noteWarmPool(FnID(fn), false)
+		}
+		if n := inv.warm[fn].n; n > 0 {
+			idleFlushed += n
+			inv.warm[fn].reset()
+			inv.noteWarmPool(FnID(fn), false)
+		}
+		if inv.busy[fn] != 0 {
+			panic(fmt.Sprintf("invoker %d: Crash with %d busy containers of fn %d; abort in-flight tasks first", inv.ID, inv.busy[fn], fn))
+		}
+		if inv.warming[fn] > 0 {
+			inv.warming[fn] = 0
+			if inv.idx != nil {
+				inv.idx.warmingDelta(FnID(fn), -1)
+			}
+		}
+	}
+	inv.down = true
+	inv.epoch++
+	if inv.idx != nil {
+		inv.idx.remove(inv.ID, inv.Free()) // fully free: nothing held
+	}
+	return idleFlushed
+}
+
+// Recover brings a crashed invoker back up at now, fully free and cold (no
+// warm containers survive the downtime), and re-enters it into the
+// placement indexes.
+func (inv *Invoker) Recover(now time.Duration) {
+	if !inv.down {
+		panic(fmt.Sprintf("invoker %d: Recover while up", inv.ID))
+	}
+	inv.integrate(now) // used is zero across the downtime: accrues nothing
+	inv.down = false
+	if inv.idx != nil {
+		inv.idx.add(inv.ID, inv.Free())
+	}
 }
 
 // BusyContainers returns the number of running containers for fn.

@@ -16,7 +16,10 @@ import (
 // observable — warm/cold start classification, presence, counts,
 // WarmInvokers ID order, placement winners — must match after every step.
 // Timestamps are non-decreasing (with deliberate equal-time runs), function
-// counts reach a dozen, and pool sizes reach 100.
+// counts reach a dozen, and pool sizes reach 100. Crash/recover churn rides
+// along: nodes go down (flushing container state, leaving every placement
+// query) and come back cold, following the controller's abort-then-crash
+// protocol.
 
 // refInvoker is the reference node: per-function warm pools as expiry-time
 // slices pruned by scanning, busy/warming as plain maps.
@@ -28,6 +31,7 @@ type refInvoker struct {
 	warm      map[FnID][]time.Duration
 	busy      map[FnID]int
 	warming   map[FnID]int
+	down      bool
 
 	coldStarts int
 	warmStarts int
@@ -45,7 +49,26 @@ func newRefInvoker(id int, capacity units.Resources, keepAlive time.Duration) *r
 }
 
 func (ri *refInvoker) free() units.Resources         { return ri.capacity.Sub(ri.used) }
-func (ri *refInvoker) canFit(r units.Resources) bool { return r.Fits(ri.free()) }
+func (ri *refInvoker) canFit(r units.Resources) bool { return !ri.down && r.Fits(ri.free()) }
+
+// crash flushes all container state and takes the node out of service.
+// Like the engine's Crash, only containers still alive at now count as
+// flushed (both models prune before counting, so lazy-prune timing cannot
+// skew the comparison).
+func (ri *refInvoker) crash(now time.Duration) (idleFlushed int) {
+	for fn := range ri.warm {
+		ri.pruneWarm(fn, now)
+		idleFlushed += len(ri.warm[fn])
+		delete(ri.warm, fn)
+	}
+	for fn := range ri.warming {
+		delete(ri.warming, fn)
+	}
+	ri.down = true
+	return idleFlushed
+}
+
+func (ri *refInvoker) recover() { ri.down = false }
 func (ri *refInvoker) acquire(r units.Resources) bool {
 	if !ri.canFit(r) {
 		return false
@@ -169,10 +192,14 @@ func (rf *refFleet) containersFor(fn FnID, now time.Duration) int {
 	return n
 }
 
-// mostFree: largest free GPU, ties by free CPU, then lowest ID.
+// mostFree: largest free GPU, ties by free CPU, then lowest ID. Down
+// invokers are out of every placement query.
 func (rf *refFleet) mostFree() int {
 	best := -1
 	for _, ri := range rf.invokers {
+		if ri.down {
+			continue
+		}
 		if best < 0 {
 			best = ri.id
 			continue
@@ -209,7 +236,7 @@ func (rf *refFleet) bestFit(res units.Resources) int {
 func (rf *refFleet) mostFreeNotWarming(fn FnID) int {
 	best := -1
 	for _, ri := range rf.invokers {
-		if ri.isWarming(fn) {
+		if ri.down || ri.isWarming(fn) {
 			continue
 		}
 		if best < 0 || ri.free().GPU > rf.invokers[best].free().GPU {
@@ -270,7 +297,14 @@ func (p *fleetPair) step(rng *rand.Rand) {
 	fn := p.fns[rng.Intn(len(p.fns))]
 	ci, ri := p.c.Invokers[inv], p.ref.invokers[inv]
 
-	switch rng.Intn(8) {
+	op := rng.Intn(10)
+	// A down node accepts no container or ledger mutations (the engine
+	// panics on them); only recovery — and the CanFit probe, which must
+	// report false — is legal.
+	if ri.down && op != 6 && op != 9 {
+		return
+	}
+	switch op {
 	case 0: // add warm containers, occasionally a large burst
 		n := 1
 		if rng.Intn(5) == 0 {
@@ -318,6 +352,32 @@ func (p *fleetPair) step(rng *rand.Rand) {
 			ci.Release(r, p.now)
 			ri.release(r)
 		}
+	case 8: // crash, following the controller's abort-then-crash protocol
+		for _, r := range p.held[inv] {
+			ci.Release(r, p.now)
+			ri.release(r)
+		}
+		p.held[inv] = p.held[inv][:0]
+		for _, f := range p.fns {
+			for ri.busy[f] > 0 {
+				ci.AbortTask(f)
+				ri.busy[f]--
+			}
+		}
+		if got, want := ci.Crash(p.now), ri.crash(p.now); got != want {
+			p.t.Fatalf("now=%v inv=%d: Crash flushed %d idle containers, reference %d", p.now, inv, got, want)
+		}
+		if ci.Up() {
+			p.t.Fatalf("now=%v inv=%d: Up after Crash", p.now, inv)
+		}
+	case 9: // recover a crashed node (fully free, cold pools)
+		if ri.down {
+			ci.Recover(p.now)
+			ri.recover()
+			if !ci.Up() {
+				p.t.Fatalf("now=%v inv=%d: down after Recover", p.now, inv)
+			}
+		}
 	}
 }
 
@@ -358,7 +418,11 @@ func (p *fleetPair) checkSpot(rng *rand.Rand) {
 			p.t.Fatalf("now=%v: BestFit(%v)=%d, reference %d", p.now, res, got, want)
 		}
 	case 5:
-		if got, want := p.c.MostFree().ID, p.ref.mostFree(); got != want {
+		got := -1
+		if m := p.c.MostFree(); m != nil {
+			got = m.ID
+		}
+		if want := p.ref.mostFree(); got != want {
 			p.t.Fatalf("now=%v: MostFree=%d, reference %d", p.now, got, want)
 		}
 	}
@@ -407,6 +471,22 @@ func (p *fleetPair) checkFull() {
 			p.t.Fatalf("inv=%d: starts cold=%d warm=%d, reference cold=%d warm=%d",
 				inv, ci.ColdStarts, ci.WarmStarts, ri.coldStarts, ri.warmStarts)
 		}
+		if ci.Up() == ri.down {
+			p.t.Fatalf("inv=%d: Up=%v, reference down=%v", inv, ci.Up(), ri.down)
+		}
+	}
+	upWant, freeWant := 0, units.Resources{}
+	for _, ri := range p.ref.invokers {
+		if !ri.down {
+			upWant++
+			freeWant = freeWant.Add(ri.free())
+		}
+	}
+	if got := p.c.UpInvokers(); got != upWant {
+		p.t.Fatalf("now=%v: UpInvokers=%d, reference %d", p.now, got, upWant)
+	}
+	if got := p.c.TotalFree(p.now); got != freeWant {
+		p.t.Fatalf("now=%v: TotalFree=%v, reference %v", p.now, got, freeWant)
 	}
 }
 

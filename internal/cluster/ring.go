@@ -66,6 +66,14 @@ func (r *expiryRing) pruneExpired(now time.Duration) (emptied bool) {
 	return r.n == 0
 }
 
+// reset empties the ring, keeping the storage. Unlike pruneExpired this
+// drops deadlines still in the future — it is the crash-flush path, where
+// every idle container of a down invoker is lost at once.
+func (r *expiryRing) reset() {
+	r.head = 0
+	r.n = 0
+}
+
 // grow doubles the storage, re-linearizing the circle.
 func (r *expiryRing) grow() {
 	size := len(r.buf) * 2

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/esg-sched/esg/internal/cluster"
+	"github.com/esg-sched/esg/internal/fault"
 	"github.com/esg-sched/esg/internal/metrics"
 	"github.com/esg-sched/esg/internal/prewarm"
 	"github.com/esg-sched/esg/internal/pricing"
@@ -20,7 +21,6 @@ import (
 	"github.com/esg-sched/esg/internal/rng"
 	"github.com/esg-sched/esg/internal/sched"
 	"github.com/esg-sched/esg/internal/simulate"
-	"github.com/esg-sched/esg/internal/units"
 	"github.com/esg-sched/esg/internal/workflow"
 	"github.com/esg-sched/esg/internal/workload"
 )
@@ -110,6 +110,31 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Seed drives the noise streams.
 	Seed uint64
+
+	// Faults declares the run's failure model (invoker MTBF/MTTR churn,
+	// transient task failures, cold-start failures, stragglers). The zero
+	// value injects nothing and leaves every hot path untouched; a
+	// non-zero spec drives all randomness from dedicated streams derived
+	// from Seed, so fault schedules replay bit-identically.
+	Faults fault.Spec
+	// RetryLimit is the per-job attempt budget under fault injection: a
+	// job whose task failed is re-enqueued with backoff until it has
+	// failed RetryLimit times, then dropped (its workflow instance is
+	// abandoned). Default 4; negative disables retries entirely.
+	RetryLimit int
+	// RetryBackoff and RetryBackoffCap shape the capped exponential
+	// backoff before a failed job re-enqueues: attempt n waits
+	// min(RetryBackoffCap, RetryBackoff << (n-1)) scaled by a
+	// deterministic jitter in [0.5, 1). Defaults 25ms and 1s.
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+	// StragglerTimeout is the straggler re-dispatch threshold as a
+	// multiple of a task's expected time (cold start + transfer +
+	// profiled execution). A task still running past the threshold is
+	// aborted and its jobs re-enqueued. Only active under fault
+	// injection; default 4 — safely above the ±3σ noise envelope, so
+	// only genuinely straggling tasks are ever killed.
+	StragglerTimeout float64
 }
 
 // Defaulted fills zero values with the paper's defaults and returns the
@@ -154,6 +179,21 @@ func (c Config) Defaulted() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Minute
+	}
+	c.Faults = c.Faults.Defaulted()
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 4
+	} else if c.RetryLimit < 0 {
+		c.RetryLimit = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = time.Second
+	}
+	if c.StragglerTimeout <= 1 {
+		c.StragglerTimeout = 4
 	}
 	return c
 }
@@ -210,6 +250,15 @@ type Controller struct {
 	instances []*queue.Instance
 	deadline  time.Duration
 	truncated bool
+
+	// faults is the run's fault injector, nil when the spec injects
+	// nothing — the nil check keeps every fault branch off the
+	// zero-fault hot path. flights tracks in-flight tasks per invoker
+	// (only under fault injection) so a crash can abort and re-enqueue
+	// them; flightPool recycles the tracking structs.
+	faults     *fault.Injector
+	flights    [][]*flight
+	flightPool []*flight
 }
 
 // New prepares a run of scheduler s over trace tr.
@@ -262,6 +311,13 @@ func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error)
 		lastInvoker: make([]int, len(qs.Queues)),
 		inRecheck:   make([]bool, len(qs.Queues)),
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Faults.Enabled() {
+		c.faults = fault.New(cfg.Faults, cfg.Seed)
+		c.flights = make([][]*flight, len(clu.Invokers))
+	}
 	if cfg.PlanCache {
 		if pc, ok := s.(sched.PlanCaching); ok {
 			pc.EnablePlanCache(cfg.PlanCacheSize, cfg.PlanCacheGranularity)
@@ -312,11 +368,14 @@ func (c *Controller) Execute() *metrics.Result {
 		c.engine.At(req.At, func() { c.arrive(req, warmup) })
 	}
 	c.deadline = c.trace.Duration() + c.cfg.DrainTimeout
+	c.scheduleOutages()
 	c.engine.Run()
 
 	unfinished := 0
 	for _, inst := range c.instances {
-		if !inst.Done {
+		// Failed instances were abandoned, not left behind by the drain
+		// deadline: they report through the fault counters instead.
+		if !inst.Done && !inst.Failed {
 			unfinished++
 		}
 	}
@@ -507,9 +566,14 @@ func (c *Controller) scaleOutWarm(fn cluster.FnID, inv *cluster.Invoker) {
 	}
 	cold := c.fnProfiles[fn].ColdStart
 	invID := inv.ID
+	ep := inv.Epoch()
 	inv.BeginWarming(fn)
 	c.engine.After(cold, func() {
-		c.clu.Invokers[invID].FinishWarming(fn, c.engine.Now())
+		target := c.clu.Invokers[invID]
+		if target.Epoch() != ep {
+			return // the invoker crashed meanwhile; the pre-warm died with it
+		}
+		target.FinishWarming(fn, c.engine.Now())
 		c.requestPass()
 	})
 }
@@ -628,7 +692,10 @@ func (c *Controller) putJobBuf(buf []*queue.Job) {
 
 // dispatch commits a task: claims resources and a container, charges cold
 // start, data transfer and scheduling overhead, samples the noisy execution
-// time, and schedules completion.
+// time, and schedules completion. Under fault injection the task's fate is
+// drawn here too — cold-start failure, transient failure, straggler
+// slowdown (with a timeout-based re-dispatch) — so every outcome is fixed
+// in dispatch order and replays deterministically.
 func (c *Controller) dispatch(q *queue.AFW, cfg profile.Config, inv *cluster.Invoker, overhead time.Duration, forced bool) {
 	now := c.engine.Now()
 	jobs := q.TakeAppend(c.getJobBuf(), cfg.Batch)
@@ -646,12 +713,31 @@ func (c *Controller) dispatch(q *queue.AFW, cfg profile.Config, inv *cluster.Inv
 	transfer := c.transferTime(q, jobs, inv, fn)
 	exec := c.cfg.Noise.Sample(fn.Exec(cfg), c.noiseSrc)
 
-	held := coldPenalty + transfer + exec
-	cost := c.cfg.Pricing.TaskCost(res, held)
-	perJob := cost / units.Money(len(jobs))
-	for _, j := range jobs {
-		j.Instance.AddCost(perJob)
+	// Dispatch-time fault decision. The draw is skipped entirely on the
+	// zero-fault path (c.faults nil), so it consumes no randomness there.
+	kind := failNone
+	var abortAfter time.Duration
+	if c.faults != nil {
+		fd := c.faults.DrawTask(!warm)
+		if fd.Straggle {
+			exec = time.Duration(float64(exec) * c.faults.Spec().StragglerFactor)
+		}
+		switch {
+		case fd.ColdFail:
+			kind, abortAfter = failCold, coldPenalty
+		case fd.Fail:
+			kind, abortAfter = failTransient, coldPenalty+transfer+time.Duration(fd.FailFrac*float64(exec))
+		case fd.Straggle:
+			// Timeout-based straggler re-dispatch: expected time uses the
+			// noise-free profile, so the threshold is a fixed multiple no
+			// ordinary task (noise is truncated at ±3σ) can exceed.
+			timeout := time.Duration(c.cfg.StragglerTimeout * float64(coldPenalty+transfer+fn.Exec(cfg)))
+			if coldPenalty+transfer+exec > timeout {
+				kind, abortAfter = failStraggler, timeout
+			}
+		}
 	}
+	held := coldPenalty + transfer + exec
 
 	c.collector.RecordDispatch(forced)
 	c.running++
@@ -660,10 +746,40 @@ func (c *Controller) dispatch(q *queue.AFW, cfg profile.Config, inv *cluster.Inv
 	c.planners[q.ID].ObserveDispatch(now)
 	c.ensureWarmPool(q.FnID)
 
-	total := overhead + held
-	c.engine.After(total, func() {
-		c.planners[q.ID].ObserveDuration(held)
-		c.complete(q, jobs, cfg, inv, warm)
+	if c.faults == nil {
+		// Historical fast path: no flight tracking, no fault branches.
+		c.engine.After(overhead+held, func() {
+			c.planners[q.ID].ObserveDuration(held)
+			c.chargeTask(jobs, res, held)
+			c.complete(q, jobs, cfg, inv, warm)
+		})
+		return
+	}
+	f := c.newFlight(q, jobs, res, inv.ID, warm, now)
+	if kind == failNone {
+		c.engine.After(overhead+held, func() {
+			if f.aborted {
+				c.freeFlight(f) // a crash already handled this task
+				return
+			}
+			c.unlinkFlight(f)
+			c.planners[q.ID].ObserveDuration(held)
+			c.chargeTask(f.jobs, f.res, held)
+			jobs := f.jobs
+			f.jobs = nil
+			c.freeFlight(f)
+			c.complete(q, jobs, cfg, inv, warm)
+		})
+		return
+	}
+	c.engine.After(overhead+abortAfter, func() {
+		if f.aborted {
+			c.freeFlight(f)
+			return
+		}
+		c.unlinkFlight(f)
+		c.failTask(f, kind, abortAfter)
+		c.freeFlight(f)
 	})
 }
 
@@ -699,6 +815,12 @@ func (c *Controller) complete(q *queue.AFW, jobs []*queue.Job, cfg profile.Confi
 
 	for _, j := range jobs {
 		ready := j.Instance.CompleteStage(j.Stage, inv.ID, now)
+		if j.Instance.Failed {
+			// The workflow was abandoned (a sibling job exhausted its
+			// retry budget) while this task ran: record the stage but
+			// never feed its successors.
+			continue
+		}
 		for _, next := range ready {
 			c.queues.Get(j.Instance.AppIndex, next).Push(&queue.Job{
 				Instance:   j.Instance,
@@ -789,9 +911,14 @@ func (c *Controller) prewarmSuccessors(q *queue.AFW, inv *cluster.Invoker) {
 		}
 		cold := c.fnProfiles[fn].ColdStart
 		invID := inv.ID
+		ep := inv.Epoch()
 		inv.BeginWarming(fn)
 		c.engine.After(cold, func() {
-			c.clu.Invokers[invID].FinishWarming(fn, c.engine.Now())
+			target := c.clu.Invokers[invID]
+			if target.Epoch() != ep {
+				return // crashed meanwhile: the pre-warm died with the node
+			}
+			target.FinishWarming(fn, c.engine.Now())
 			c.stateVersion++
 			c.requestPass()
 		})
@@ -829,9 +956,14 @@ func (c *Controller) ensureWarmPool(fn cluster.FnID) {
 			return
 		}
 		invID := inv.ID
+		ep := inv.Epoch()
 		inv.BeginWarming(fn)
 		c.engine.After(cold, func() {
-			c.clu.Invokers[invID].FinishWarming(fn, c.engine.Now())
+			target := c.clu.Invokers[invID]
+			if target.Epoch() != ep {
+				return // crashed meanwhile: the warm-up died with the node
+			}
+			target.FinishWarming(fn, c.engine.Now())
 			c.stateVersion++
 			c.requestPass()
 		})
@@ -864,14 +996,22 @@ func (c *Controller) observeForPrewarm(q *queue.AFW, inv *cluster.Invoker, fn *p
 		return // too late to warm ahead of the predicted call
 	}
 	invID := inv.ID
+	ep := inv.Epoch()
 	c.engine.At(startAt, func() {
 		target := c.clu.Invokers[invID]
+		if target.Epoch() != ep {
+			return // crashed since the prediction was made
+		}
 		// Skip if a warm container already awaits the predicted call.
 		if target.HasIdleWarm(q.FnID, c.engine.Now()) {
 			return
 		}
 		c.engine.After(fn.ColdStart, func() {
-			c.clu.Invokers[invID].AddWarm(q.FnID, c.engine.Now())
+			target := c.clu.Invokers[invID]
+			if target.Epoch() != ep {
+				return // crashed mid-warm-up
+			}
+			target.AddWarm(q.FnID, c.engine.Now())
 			c.stateVersion++
 			c.requestPass()
 		})

@@ -17,6 +17,9 @@ type Matrix struct {
 // NewMatrix allocates a zero rows×cols matrix.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		// Shape errors in this package are caller bugs (dimensions derive
+		// from dataset sizes, never user input), so they panic like the
+		// standard library's slice bounds do.
 		panic("mathx: negative matrix dimension")
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}

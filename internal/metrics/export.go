@@ -35,8 +35,31 @@ type Export struct {
 	PlanCacheEvictions     uint64 `json:"plan_cache_evictions,omitempty"`
 	PlanCacheInvalidations uint64 `json:"plan_cache_invalidations,omitempty"`
 
+	// Faults is present only when fault injection touched the run, so
+	// fault-free exports are byte-identical to pre-fault-engine ones.
+	Faults *FaultExport `json:"faults,omitempty"`
+
 	OverheadMS OverheadStats `json:"overhead_ms"`
 	PerApp     []AppExport   `json:"per_app"`
+}
+
+// FaultExport is the JSON projection of a run's fault-injection outcomes.
+type FaultExport struct {
+	SLOAttainment     float64 `json:"slo_attainment"`
+	GoodputPerS       float64 `json:"goodput_per_s"`
+	Crashes           int     `json:"crashes"`
+	Recoveries        int     `json:"recoveries"`
+	TasksLost         int     `json:"tasks_lost"`
+	WarmFlushed       int     `json:"warm_flushed"`
+	TaskFailures      int     `json:"task_failures"`
+	ColdStartFailures int     `json:"cold_start_failures"`
+	StragglersKilled  int     `json:"stragglers_killed"`
+	Retries           int     `json:"retries"`
+	DroppedJobs       int     `json:"dropped_jobs"`
+	FailedInstances   int     `json:"failed_instances"`
+	LostWorkSeconds   float64 `json:"lost_work_s"`
+	MeanRecoveryS     float64 `json:"mean_recovery_s"`
+	DowntimeSeconds   float64 `json:"downtime_s"`
 }
 
 // OverheadStats is the box summary of scheduling overheads.
@@ -90,6 +113,25 @@ func (r *Result) ToExport(includeSeries bool) Export {
 		OverheadMS: OverheadStats{
 			N: box.N, Min: box.Min, Median: box.Median, Mean: box.Mean, Max: box.Max,
 		},
+	}
+	if f := r.Faults; f.Any() {
+		e.Faults = &FaultExport{
+			SLOAttainment:     r.SLOAttainment(),
+			GoodputPerS:       r.Goodput(),
+			Crashes:           f.Crashes,
+			Recoveries:        f.Recoveries,
+			TasksLost:         f.TasksLost,
+			WarmFlushed:       f.WarmFlushed,
+			TaskFailures:      f.TaskFailures,
+			ColdStartFailures: f.ColdStartFailures,
+			StragglersKilled:  f.StragglersKilled,
+			Retries:           f.Retries,
+			DroppedJobs:       f.DroppedJobs,
+			FailedInstances:   f.FailedInstances,
+			LostWorkSeconds:   f.LostWorkSeconds,
+			MeanRecoveryS:     f.MeanRecoveryS(),
+			DowntimeSeconds:   f.DowntimeSeconds,
+		}
 	}
 	for _, a := range r.PerApp {
 		ae := AppExport{

@@ -3,9 +3,11 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
+	"github.com/esg-sched/esg/internal/queue"
 	"github.com/esg-sched/esg/internal/workflow"
 )
 
@@ -45,6 +47,68 @@ func TestExportWithoutSeries(t *testing.T) {
 	e := sampleResult(t).ToExport(false)
 	if len(e.PerApp[0].LatenciesMS) != 0 {
 		t.Errorf("series attached despite includeSeries=false")
+	}
+}
+
+// TestFaultExport pins the failure-aware surface: fault-free exports omit
+// the faults section entirely (the zero-fault byte-identity contract),
+// while a faulted run carries every counter through Summary and JSON.
+func TestFaultExport(t *testing.T) {
+	var buf bytes.Buffer
+	clean := sampleResult(t)
+	if err := clean.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"faults"`)) {
+		t.Errorf("fault-free export carries a faults section")
+	}
+
+	apps := []*workflow.App{workflow.Chain("a", "f1", "f2")}
+	c := NewCollector("ESG", "light", "strict", apps)
+	c.RecordInstance(doneInstance(apps[0], 0, 0, 400*time.Millisecond, 500*time.Millisecond, false, 100))
+	failed := queue.NewInstance(1, 0, apps[0], 0, 500*time.Millisecond)
+	failed.Failed = true
+	failed.FailedAt = 300 * time.Millisecond
+	c.RecordFailedInstance(failed)
+	c.RecordCrash(2, 3)
+	c.RecordRecovery(400 * time.Millisecond)
+	c.RecordTaskFault(true, false, false, time.Second)
+	c.RecordRetries(2)
+	c.RecordDroppedJob()
+	r := c.Finalize(0, 1, 0, 0.1, 0.1, time.Minute)
+
+	if r.Faults.FailedInstances != 1 || r.Instances != 1 {
+		t.Fatalf("failed-instance accounting: %d failed, %d completed", r.Faults.FailedInstances, r.Instances)
+	}
+	if got := r.SLOAttainment(); got != 0.5 {
+		t.Errorf("attainment %v, want 0.5 (1 hit of 2 measured)", got)
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	var e Export
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	f := e.Faults
+	if f == nil {
+		t.Fatalf("faulted export lost its faults section")
+	}
+	if f.Crashes != 1 || f.Recoveries != 1 || f.TasksLost != 2 || f.WarmFlushed != 3 ||
+		f.TaskFailures != 1 || f.Retries != 2 || f.DroppedJobs != 1 || f.FailedInstances != 1 {
+		t.Errorf("fault export = %+v", f)
+	}
+	if f.MeanRecoveryS != 0.4 || f.LostWorkSeconds != 1 || f.SLOAttainment != 0.5 {
+		t.Errorf("fault export aggregates = %+v", f)
+	}
+	for _, want := range []string{"faults=[", "crashes=1", "retries=2", "dropped=1", "failed=1"} {
+		if !strings.Contains(r.Summary(), want) {
+			t.Errorf("summary %q missing %q", r.Summary(), want)
+		}
+	}
+	if strings.Contains(clean.Summary(), "faults=") {
+		t.Errorf("fault-free summary grew a faults section")
 	}
 }
 

@@ -15,7 +15,9 @@ import (
 	"github.com/esg-sched/esg/internal/workflow"
 )
 
-// InstanceRecord is the outcome of one completed workflow instance.
+// InstanceRecord is the outcome of one finished workflow instance —
+// completed, or abandoned under fault injection (Failed; Completed then
+// holds the abandonment time and Hit is false).
 type InstanceRecord struct {
 	AppIndex  int
 	Arrival   time.Duration
@@ -25,6 +27,7 @@ type InstanceRecord struct {
 	Hit       bool
 	Cost      units.Money
 	Warmup    bool
+	Failed    bool
 }
 
 // AppSummary aggregates one application's measured instances.
@@ -83,9 +86,76 @@ type Result struct {
 	PlanCacheEvictions     uint64
 	PlanCacheInvalidations uint64
 
+	// Faults aggregates the run's fault-injection outcomes (all zero on a
+	// fault-free run).
+	Faults FaultStats
+
 	UtilCPU float64
 	UtilGPU float64
 	SimTime time.Duration
+}
+
+// FaultStats aggregates a run's fault-injection outcomes: what was
+// injected (crashes, task/cold-start failures, stragglers) and what it
+// cost (lost work, retries, dropped jobs, abandoned instances, downtime).
+type FaultStats struct {
+	// Crashes and Recoveries count invoker churn events; TasksLost is the
+	// in-flight tasks aborted by crashes and WarmFlushed the idle
+	// containers they destroyed.
+	Crashes     int
+	Recoveries  int
+	TasksLost   int
+	WarmFlushed int
+	// TaskFailures, ColdStartFailures and StragglersKilled count aborted
+	// tasks by cause (transient failure, failed cold start, straggler
+	// timeout re-dispatch).
+	TaskFailures      int
+	ColdStartFailures int
+	StragglersKilled  int
+	// Retries counts jobs re-enqueued after a failure; DroppedJobs those
+	// that exhausted the attempt budget; FailedInstances the measured
+	// (non-warm-up) workflow instances abandoned as a result.
+	Retries         int
+	DroppedJobs     int
+	FailedInstances int
+	// LostWorkSeconds sums the task-time thrown away by aborted tasks;
+	// DowntimeSeconds sums invoker downtime across recoveries.
+	LostWorkSeconds float64
+	DowntimeSeconds float64
+}
+
+// Any reports whether any fault was injected or suffered.
+func (f FaultStats) Any() bool {
+	return f != FaultStats{}
+}
+
+// MeanRecoveryS returns the mean invoker downtime in seconds (the run's
+// observed MTTR), or 0 without recoveries.
+func (f FaultStats) MeanRecoveryS() float64 {
+	if f.Recoveries == 0 {
+		return 0
+	}
+	return f.DowntimeSeconds / float64(f.Recoveries)
+}
+
+// SLOAttainment returns the SLO hit rate over every measured instance
+// including the failed ones — attainment under failure. Without failed
+// instances it equals HitRate.
+func (r *Result) SLOAttainment() float64 {
+	total := r.Instances + r.Faults.FailedInstances
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// Goodput returns completed measured instances per simulated second —
+// throughput net of failed and unfinished work.
+func (r *Result) Goodput() float64 {
+	if r.SimTime <= 0 {
+		return 0
+	}
+	return float64(r.Instances) / r.SimTime.Seconds()
 }
 
 // MissRate returns the pre-planned configuration miss rate (Table 4).
@@ -113,6 +183,15 @@ func (r *Result) Summary() string {
 			saved, lookups, r.PlanCacheHits, r.PlanCacheIntervalHits, r.PlanCacheResumes,
 			r.PlanCacheMisses)
 	}
+	// The faults section only appears when something was injected or
+	// suffered, so fault-free summaries are byte-identical to runs without
+	// the injector.
+	if f := r.Faults; f.Any() {
+		s += fmt.Sprintf(" faults=[attain=%.1f%% crashes=%d lost=%d taskfail=%d coldfail=%d stragglers=%d retries=%d dropped=%d failed=%d lostwork=%.2fs mttr=%.2fs goodput=%.1f/s]",
+			100*r.SLOAttainment(), f.Crashes, f.TasksLost, f.TaskFailures,
+			f.ColdStartFailures, f.StragglersKilled, f.Retries, f.DroppedJobs,
+			f.FailedInstances, f.LostWorkSeconds, f.MeanRecoveryS(), r.Goodput())
+	}
 	return s
 }
 
@@ -131,7 +210,8 @@ type Collector struct {
 	prePlanned int
 	misses     int
 
-	cache PlanCacheCounters
+	cache  PlanCacheCounters
+	faults FaultStats
 }
 
 // PlanCacheCounters carries a scheduler's memoized-search counters into
@@ -189,6 +269,58 @@ func (c *Collector) RecordInstance(inst *queue.Instance) {
 	})
 }
 
+// RecordFailedInstance notes a workflow instance abandoned under fault
+// injection (its record carries the abandonment time and never hits).
+func (c *Collector) RecordFailedInstance(inst *queue.Instance) {
+	c.records = append(c.records, InstanceRecord{
+		AppIndex:  inst.AppIndex,
+		Arrival:   inst.Arrival,
+		Completed: inst.FailedAt,
+		Latency:   inst.FailedAt - inst.Arrival,
+		SLO:       inst.SLO,
+		Hit:       false,
+		Cost:      inst.Cost,
+		Warmup:    inst.Warmup,
+		Failed:    true,
+	})
+}
+
+// RecordCrash notes one invoker crash: the in-flight tasks it aborted and
+// the idle warm containers it flushed.
+func (c *Collector) RecordCrash(tasksLost, warmFlushed int) {
+	c.faults.Crashes++
+	c.faults.TasksLost += tasksLost
+	c.faults.WarmFlushed += warmFlushed
+}
+
+// RecordRecovery notes one invoker recovery after the given downtime.
+func (c *Collector) RecordRecovery(downtime time.Duration) {
+	c.faults.Recoveries++
+	c.faults.DowntimeSeconds += downtime.Seconds()
+}
+
+// RecordTaskFault notes one aborted task and the task-time it threw away.
+// Exactly one of transientFail/coldFail/straggler classifies the cause
+// (crash-aborted tasks are counted by RecordCrash instead and only add
+// lost work here via lost > 0 with no cause set).
+func (c *Collector) RecordTaskFault(transientFail, coldFail, straggler bool, lost time.Duration) {
+	switch {
+	case transientFail:
+		c.faults.TaskFailures++
+	case coldFail:
+		c.faults.ColdStartFailures++
+	case straggler:
+		c.faults.StragglersKilled++
+	}
+	c.faults.LostWorkSeconds += lost.Seconds()
+}
+
+// RecordRetries notes n jobs re-enqueued after a failed task.
+func (c *Collector) RecordRetries(n int) { c.faults.Retries += n }
+
+// RecordDroppedJob notes a job that exhausted its attempt budget.
+func (c *Collector) RecordDroppedJob() { c.faults.DroppedJobs++ }
+
 // Finalize assembles the Result. coldStarts/warmStarts/util/simTime come
 // from the cluster and engine; unfinished counts instances never completed.
 func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, utilGPU float64, simTime time.Duration) *Result {
@@ -210,6 +342,7 @@ func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, ut
 		PlanCacheMisses:        c.cache.Misses,
 		PlanCacheEvictions:     c.cache.Evictions,
 		PlanCacheInvalidations: c.cache.Invalidations,
+		Faults:                 c.faults,
 		Unfinished:             unfinished,
 		UtilCPU:                utilCPU,
 		UtilGPU:                utilGPU,
@@ -223,6 +356,12 @@ func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, ut
 	var totalCost units.Money
 	for _, rec := range r.Records {
 		if rec.Warmup {
+			continue
+		}
+		if rec.Failed {
+			// Abandoned instances never complete: they count toward
+			// SLOAttainment's denominator, not the completion aggregates.
+			r.Faults.FailedInstances++
 			continue
 		}
 		s := &perApp[rec.AppIndex]

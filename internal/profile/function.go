@@ -71,6 +71,8 @@ func (f *Function) Validate() error {
 // It is deterministic; the emulator layers noise on top (see Noise).
 func (f *Function) Exec(cfg Config) time.Duration {
 	if !cfg.Valid() {
+		// Invariant, not input: configs reach Exec only from validated
+		// search spaces, so an invalid one means a scheduler bug upstream.
 		panic(fmt.Sprintf("profile: invalid config %v for %s", cfg, f.Name))
 	}
 	base := float64(f.BaseExec)
@@ -116,6 +118,8 @@ func EffectiveGPUs(cfg Config) units.VGPU {
 
 func ceilDiv(a, b int) int {
 	if b <= 0 {
+		// Internal helper with constant positive divisors at every call
+		// site; a bad divisor is a programming error.
 		panic("profile: ceilDiv by non-positive divisor")
 	}
 	return (a + b - 1) / b

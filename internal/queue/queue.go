@@ -38,6 +38,12 @@ type Instance struct {
 	// Done and CompletedAt are set when the last stage finishes.
 	Done        bool
 	CompletedAt time.Duration
+	// Failed marks an instance abandoned under fault injection: one of its
+	// jobs exhausted the retry budget, so the workflow can never complete.
+	// Mutually exclusive with Done.
+	Failed bool
+	// FailedAt is when the instance was abandoned (valid once Failed).
+	FailedAt time.Duration
 
 	// Cost accumulates the instance's share of every task it rode in.
 	Cost units.Money
@@ -75,6 +81,9 @@ func (in *Instance) StageInvoker(stage int) int { return int(in.stageInvoker[sta
 // (i.e., the next jobs to enqueue).
 func (in *Instance) CompleteStage(stage, invoker int, now time.Duration) (ready []int) {
 	if in.stageInvoker[stage] >= 0 {
+		// DAG-accounting invariant: the controller completes each stage
+		// exactly once; a repeat would corrupt the remaining-stage counter,
+		// so fail loudly instead of silently double-counting.
 		panic(fmt.Sprintf("instance %d: stage %d completed twice", in.ID, stage))
 	}
 	in.stageInvoker[stage] = int32(invoker)
@@ -113,6 +122,10 @@ type Job struct {
 	Stage    int
 	// EnqueuedAt is when the job entered its AFW queue.
 	EnqueuedAt time.Duration
+	// Attempts counts this job's failed dispatch attempts under fault
+	// injection; the controller's retry policy drops the job once it
+	// exceeds the attempt budget.
+	Attempts int
 }
 
 // Waited returns how long the job has been queued at now.
@@ -188,6 +201,8 @@ func NewAFW(id, appIndex int, app *workflow.App, stage int) *AFW {
 // Push appends a job (FIFO).
 func (q *AFW) Push(j *Job) {
 	if j.Stage != q.Stage {
+		// Routing invariant: queues are looked up by (app, stage), so a
+		// mismatched job means the caller resolved the wrong queue.
 		panic(fmt.Sprintf("queue %d: job for stage %d pushed to stage-%d queue", q.ID, j.Stage, q.Stage))
 	}
 	q.jobs = append(q.jobs, j)
@@ -236,6 +251,8 @@ func (q *AFW) Take(n int) []*Job { return q.TakeAppend(nil, n) }
 // Passing a recycled dst makes the dispatch loop allocation-free.
 func (q *AFW) TakeAppend(dst []*Job, n int) []*Job {
 	if n > q.Len() {
+		// Dispatch invariant: batch sizes are clamped to the backlog before
+		// any take; over-taking means a plan/queue bookkeeping bug.
 		panic(fmt.Sprintf("queue %d: take %d of %d jobs", q.ID, n, q.Len()))
 	}
 	dst = append(dst, q.jobs[q.head:q.head+n]...)
@@ -319,6 +336,8 @@ func (s *Set) Bind(c *cluster.Cluster) {
 // Get returns the queue of (appIndex, stage).
 func (s *Set) Get(appIndex, stage int) *AFW {
 	if appIndex < 0 || appIndex >= len(s.byApp) || stage < 0 || stage >= len(s.byApp[appIndex]) {
+		// Indices come from the app set the Set was built over; an
+		// out-of-range lookup is a wiring bug, never user input.
 		panic(fmt.Sprintf("queue: no AFW queue for app %d stage %d", appIndex, stage))
 	}
 	return s.byApp[appIndex][stage]

@@ -7,7 +7,10 @@
 // a scenario replays bit-identically given the same seed.
 package rng
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // Source is a deterministic pseudo-random source based on SplitMix64.
 // SplitMix64 passes BigCrush, has a full 2^64 period, and — critically for
@@ -116,6 +119,27 @@ func (s *Source) TruncatedGaussianFactor(sigma, floor float64) float64 {
 		f = floor
 	}
 	return f
+}
+
+// Exp returns an exponential variate with mean 1 via inversion. Together
+// with a mean it samples memoryless inter-event gaps — the fault injector's
+// MTBF/MTTR crash and recovery schedules. 1-Float64 keeps the argument of
+// the log strictly positive (Float64 can return exactly 0).
+func (s *Source) Exp() float64 {
+	return -math.Log(1 - s.Float64())
+}
+
+// ExpDuration returns an exponential duration with the given mean, floored
+// at 1ns so schedules always advance (mean <= 0 returns 0).
+func (s *Source) ExpDuration(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := time.Duration(s.Exp() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
 }
 
 // Hash64 mixes an arbitrary byte string into a 64-bit value using FNV-1a

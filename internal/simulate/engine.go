@@ -46,6 +46,9 @@ func (e *Engine) Thaw() { e.frozen = "" }
 // the past run at the current time (never before it).
 func (e *Engine) At(t time.Duration, fn func()) {
 	if e.frozen != "" {
+		// Determinism guard, not recoverable: an event scheduled from a
+		// parallel planning window would race the event order. Crashing at
+		// the schedule site names the offending window.
 		panic("simulate: event scheduled during frozen window: " + e.frozen)
 	}
 	if t < e.now {

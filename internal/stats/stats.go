@@ -109,6 +109,8 @@ type Histogram struct {
 // NewHistogram builds a histogram with n bins over [lo, hi).
 func NewHistogram(lo, hi float64, n int) *Histogram {
 	if n < 1 || hi <= lo {
+		// Caller bug, not input: histogram shapes are compile-time constants
+		// at every call site, so an error return would only be dead code.
 		panic("stats: invalid histogram shape")
 	}
 	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n), binWidth: (hi - lo) / float64(n)}

@@ -106,6 +106,8 @@ func (l SLOLevel) Factor() float64 {
 	case Relaxed:
 		return 1.2
 	default:
+		// Exhaustive enum: the three levels above are the whole type; a
+		// fourth value can only come from a cast, i.e. a programming error.
 		panic(fmt.Sprintf("workflow: unknown SLO level %d", int(l)))
 	}
 }

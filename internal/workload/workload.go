@@ -47,6 +47,8 @@ func (l Level) IntervalRange() (lo, hi time.Duration) {
 	case Light:
 		return 40 * time.Millisecond, 67200 * time.Microsecond
 	default:
+		// Exhaustive enum: only the three levels above exist; any other
+		// value is a cast gone wrong, not input.
 		panic(fmt.Sprintf("workload: unknown level %d", int(l)))
 	}
 }
@@ -82,6 +84,9 @@ func Generate(level Level, n, apps int, src *rng.Source) *Trace {
 // e.g. 100 yields 100× the paper's load for scale stress scenarios.
 func GenerateCompressed(level Level, speedup float64, n, apps int, src *rng.Source) *Trace {
 	if n < 0 || apps < 1 || speedup <= 0 {
+		// CLI-originated sizes are rejected earlier by cli.Options.Validate;
+		// reaching this panic means a programmatic caller passed a shape no
+		// trace can have.
 		panic("workload: invalid trace shape")
 	}
 	lo, hi := level.IntervalRange()
