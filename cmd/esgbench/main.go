@@ -70,8 +70,11 @@ func main() {
 	if opts.Scenario == "chaos" && !contains(targets, "chaos") {
 		targets = append(targets, "chaos")
 	}
+	if opts.Scenario == "planet" && !contains(targets, "planet") {
+		targets = append(targets, "planet")
+	}
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53 scale chaos (run esgbench -h for flags)")
+		fmt.Fprintln(os.Stderr, "usage: esgbench [flags] all | table1 table3 table4 fig5..fig12 sec53 scale chaos planet (run esgbench -h for flags)")
 		os.Exit(2)
 	}
 
@@ -104,6 +107,7 @@ func main() {
 	// 30000 × -scale requests, the adaptive schedulers).
 	scaleSpec = experiments.ScaleSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Replan: opts.Replan}
 	faultSpec = opts.FaultSpec()
+	planetSpec = experiments.PlanetSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Arrival: opts.Arrival}
 	var progress io.Writer = os.Stderr
 	if opts.Quiet {
 		progress = nil
@@ -146,8 +150,9 @@ func contains(list []string, s string) bool {
 // scale scenario (zero fields select the defaults); faultSpec carries the
 // chaos scenario's fault knobs (all zero = no fault injection).
 var (
-	scaleSpec experiments.ScaleSpec
-	faultSpec fault.Spec
+	scaleSpec  experiments.ScaleSpec
+	faultSpec  fault.Spec
+	planetSpec experiments.PlanetSpec
 )
 
 func run(r *experiments.Runner, target string) (*experiments.Table, error) {
@@ -156,6 +161,8 @@ func run(r *experiments.Runner, target string) (*experiments.Table, error) {
 		return experiments.ScaleScenario(r, scaleSpec)
 	case "chaos":
 		return experiments.ChaosScenario(r, scaleSpec, faultSpec)
+	case "planet":
+		return experiments.PlanetScenario(r, planetSpec)
 	case "table1":
 		return experiments.Table1(), nil
 	case "table3":
@@ -181,6 +188,6 @@ func run(r *experiments.Runner, target string) (*experiments.Table, error) {
 	case "sec53":
 		return experiments.Sec53(&r.Wall), nil
 	default:
-		return nil, fmt.Errorf("unknown target (want all, table1, table3, table4, fig5..fig12, sec53, scale, chaos)")
+		return nil, fmt.Errorf("unknown target (want all, table1, table3, table4, fig5..fig12, sec53, scale, chaos, planet)")
 	}
 }

@@ -316,8 +316,9 @@ func GenerateTrace(level Level, n, apps int, seed uint64) *Trace {
 }
 
 // GenerateCompressedTrace builds a trace with the level's arrival pattern
-// sped up by the given factor (the scale scenarios' 100× load).
-func GenerateCompressedTrace(level Level, speedup float64, n, apps int, seed uint64) *Trace {
+// sped up by the given factor (the scale scenarios' 100× load). It rejects
+// impossible shapes (negative n, apps < 1, speedup <= 0) with an error.
+func GenerateCompressedTrace(level Level, speedup float64, n, apps int, seed uint64) (*Trace, error) {
 	return workload.GenerateCompressed(level, speedup, n, apps, rng.New(seed))
 }
 

@@ -29,6 +29,11 @@ type Scheduler struct {
 	// MaxCandidates bounds the plan's fallback list (default 5).
 	MaxCandidates int
 
+	// Splits, when non-nil, shares SLO-split computation with other
+	// scheduler instances of a run grid (see sched.SplitMemo). The
+	// per-instance splits map still fronts it.
+	Splits *sched.SplitMemo
+
 	// splitMu guards the lazily filled splits memo under the controller's
 	// parallel pre-planning (ConcurrentPlanOK); the memo and the shared
 	// plan memo are the only mutable state Plan touches.
@@ -53,7 +58,11 @@ func (s *Scheduler) stageBudget(env *sched.Env, q *queue.AFW) time.Duration {
 	defer s.splitMu.Unlock()
 	split, ok := s.splits[q.AppIndex]
 	if !ok {
-		split = sched.MeanServiceSplit(env.Apps[q.AppIndex], env.Registry, env.SLOs[q.AppIndex])
+		if s.Splits != nil {
+			split = s.Splits.Split(env.Apps[q.AppIndex], env.Registry, env.SLOs[q.AppIndex])
+		} else {
+			split = sched.MeanServiceSplit(env.Apps[q.AppIndex], env.Registry, env.SLOs[q.AppIndex])
+		}
 		s.splits[q.AppIndex] = split
 	}
 	return split[q.Stage]

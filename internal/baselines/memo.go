@@ -160,6 +160,15 @@ func NewMemoHost() MemoHost { return MemoHost{memo: NewMemo()} }
 // PlanMemo implements MemoUser.
 func (h MemoHost) PlanMemo() *Memo { return h.memo }
 
+// SetPlanMemo replaces the host's memo with a shared one (pointer
+// receiver, so it reaches the embedded host of a scheduler addressed by
+// pointer). Rankings are pure functions of their key for a fixed profile
+// registry and configuration space, so a grid of runs over one registry —
+// the planet scenario's schedulers × arrival shapes — can pay each cold
+// ranking once and share the frozen result; runs over different registries
+// or spaces must not share a memo.
+func (h *MemoHost) SetPlanMemo(m *Memo) { h.memo = m }
+
 // EnablePlanCache implements sched.PlanCaching. The baseline memo is
 // structural and always on (its key space is bounded, see the package
 // comment), so there is nothing to attach or size; the method exists so

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/esg-sched/esg/internal/fault"
+	"github.com/esg-sched/esg/internal/workload"
 )
 
 // Options carries every esgbench flag. Zero values of the scale-scenario
@@ -31,6 +32,7 @@ type Options struct {
 	Load         float64
 	Requests     int
 	Replan       float64
+	Arrival      string
 	CPUProfile   string
 
 	// Chaos-scenario fault knobs (valid only with -scenario chaos; all
@@ -49,12 +51,16 @@ const synopsis = `usage: esgbench [flags] all
        esgbench [flags] table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sec53
        esgbench [flags] -scenario scale
        esgbench [flags] -scenario chaos -mtbf 30s -mttr 2s -taskfail 0.01
+       esgbench [flags] -scenario planet -arrival diurnal
 
 Targets name the paper's §5 artifacts to regenerate ("all" expands to every
 one of them); -scenario scale instead runs the production-scale stress
-family, and -scenario chaos runs it under deterministic fault injection
+family, -scenario chaos runs it under deterministic fault injection
 (invoker crash/recovery churn, task failures, stragglers — see the fault
-flags). Flags:
+flags), and -scenario planet runs the streaming tier above scale
+(thousands of nodes, millions of requests pulled from a seeded generator,
+latencies sketched instead of stored — peak memory independent of the
+request count). Flags:
 
 `
 
@@ -71,11 +77,12 @@ func NewFlagSet(o *Options) *flag.FlagSet {
 	fs.StringVar(&o.Overhead, "overhead", "measured", "how scheduling overhead is charged on the simulated clock: measured (paper default, wall clock — run-dependent), none, or fixed")
 	fs.BoolVar(&o.Wall, "wall", true, "take wall-clock readings for the artifacts' host-time cells (the scale table's Wall column, sec53's ms columns); -wall=false zeroes them so two runs' full output files diff byte-identically")
 	fs.BoolVar(&o.Quiet, "quiet", false, "suppress per-scenario progress and counter summaries on stderr")
-	fs.StringVar(&o.Scenario, "scenario", "paper", "scenario family: paper (the §5 artifacts), scale — the production-scale stress run (256 heterogeneous nodes, 100x the heavy arrival rate, 8 concurrent applications) — or chaos, the scale run under deterministic fault injection")
-	fs.IntVar(&o.Nodes, "nodes", 0, "scale/chaos scenario: invoker count (default 256)")
-	fs.Float64Var(&o.Load, "load", 0, "scale/chaos scenario: arrival-rate multiplier over heavy (default 100)")
-	fs.IntVar(&o.Requests, "requests", 0, "scale/chaos scenario: trace length (default 30000 x -scale)")
+	fs.StringVar(&o.Scenario, "scenario", "paper", "scenario family: paper (the §5 artifacts), scale — the production-scale stress run (256 heterogeneous nodes, 100x the heavy arrival rate, 8 concurrent applications) — chaos, the scale run under deterministic fault injection, or planet, the streaming tier (2048 nodes, millions of generated requests, sketched metrics)")
+	fs.IntVar(&o.Nodes, "nodes", 0, "scale/chaos/planet scenario: invoker count (default 256; planet 2048)")
+	fs.Float64Var(&o.Load, "load", 0, "scale/chaos/planet scenario: arrival-rate multiplier over heavy (default 100; planet nodes/100, calibrated so the fleet sustains every arrival shape's peak rate)")
+	fs.IntVar(&o.Requests, "requests", 0, "scale/chaos/planet scenario: request count (default 30000 x -scale; planet 1000000 x -scale)")
 	fs.Float64Var(&o.Replan, "replan", 0, "scale/chaos scenario: re-plan pressure multiplier — divides the 2ms scheduling quantum so queues are re-planned that much more often (default 1)")
+	fs.StringVar(&o.Arrival, "arrival", "", "planet scenario: arrival shape — uniform, diurnal, burst or multitenant (empty runs the three shaped processes)")
 	fs.DurationVar(&o.MTBF, "mtbf", 0, "chaos scenario: mean time between invoker crashes, exponentially distributed per invoker (0 = no crashes)")
 	fs.DurationVar(&o.MTTR, "mttr", 0, "chaos scenario: mean invoker recovery time (default 10s when -mtbf is set)")
 	fs.Float64Var(&o.TaskFail, "taskfail", 0, "chaos scenario: per-task transient failure probability in [0,1]")
@@ -103,9 +110,20 @@ func (o *Options) FaultSpec() fault.Spec {
 // -scenario chaos (where they would be silently ignored).
 func (o *Options) Validate() error {
 	switch o.Scenario {
-	case "paper", "scale", "chaos":
+	case "paper", "scale", "chaos", "planet":
 	default:
-		return fmt.Errorf("unknown -scenario %q (want paper, scale or chaos)", o.Scenario)
+		return fmt.Errorf("unknown -scenario %q (want paper, scale, chaos or planet)", o.Scenario)
+	}
+	if o.Arrival != "" {
+		if o.Scenario != "planet" {
+			return fmt.Errorf("-arrival requires -scenario planet")
+		}
+		if _, err := workload.ParseShape(o.Arrival); err != nil {
+			return fmt.Errorf("-arrival: %v", err)
+		}
+	}
+	if o.Scenario == "planet" && o.Replan != 0 {
+		return fmt.Errorf("-replan applies to -scenario scale/chaos, not planet")
 	}
 	if o.Nodes < 0 {
 		return fmt.Errorf("-nodes must be >= 0 (0 selects the default), got %d", o.Nodes)

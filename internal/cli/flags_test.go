@@ -51,8 +51,8 @@ func TestUsageTextCoversEveryFlag(t *testing.T) {
 	var o Options
 	fs := NewFlagSet(&o)
 	for _, name := range []string{"seed", "scale", "parallel", "plancache", "baselinememo",
-		"overhead", "quiet", "scenario", "nodes", "load", "requests", "replan", "cpuprofile",
-		"mtbf", "mttr", "taskfail", "coldfail", "straggler", "stragglerfactor"} {
+		"overhead", "quiet", "scenario", "nodes", "load", "requests", "replan", "arrival",
+		"cpuprofile", "mtbf", "mttr", "taskfail", "coldfail", "straggler", "stragglerfactor"} {
 		if !strings.Contains(text, "-"+name) {
 			t.Errorf("usage text missing flag -%s", name)
 		}
@@ -84,6 +84,10 @@ func TestValidate(t *testing.T) {
 		{"-scenario", "chaos"},
 		{"-scenario", "chaos", "-mtbf", "2s", "-mttr", "500ms", "-taskfail", "0.02",
 			"-coldfail", "0.01", "-straggler", "0.01", "-stragglerfactor", "8"},
+		{"-scenario", "planet"},
+		{"-scenario", "planet", "-arrival", "diurnal"},
+		{"-scenario", "planet", "-arrival", "Burst"}, // ParseShape is case-insensitive
+		{"-scenario", "planet", "-nodes", "4096", "-load", "40", "-requests", "2000000"},
 	}
 	for _, args := range good {
 		if err := parse(t, args...); err != nil {
@@ -105,6 +109,11 @@ func TestValidate(t *testing.T) {
 		"straggler factor below 1":  {"-scenario", "chaos", "-straggler", "0.1", "-stragglerfactor", "0.5"},
 		"negative straggler rate":   {"-scenario", "chaos", "-straggler", "-0.1"},
 		"cold-fail rate below zero": {"-scenario", "chaos", "-coldfail", "-1"},
+		"arrival outside planet":    {"-scenario", "scale", "-arrival", "diurnal"},
+		"arrival on paper default":  {"-arrival", "burst"},
+		"unknown arrival shape":     {"-scenario", "planet", "-arrival", "sawtooth"},
+		"replan on planet":          {"-scenario", "planet", "-replan", "2"},
+		"chaos knob on planet":      {"-scenario", "planet", "-mtbf", "2s"},
 	}
 	for name, args := range bad {
 		if err := parse(t, args...); err == nil {

@@ -93,6 +93,15 @@ type Config struct {
 	// cache key (0 = default).
 	PlanCacheGranularity time.Duration
 
+	// StreamMetrics replaces the exact stored-sample metrics recorder with
+	// the streaming sketch recorder: per-sample series (Records, Overheads,
+	// per-app Latencies) are folded into O(1)-memory accumulators, so a
+	// run's metrics footprint is independent of its length. Percentiles
+	// come from a deterministic quantile sketch (≈1% relative error);
+	// counts, rates, costs and means stay exact. Default off — the exact
+	// recorder's output is byte-identical to historical runs.
+	StreamMetrics bool
+
 	// CellShards is the number of parallel planning shards inside this
 	// cell's controller (0 or 1 = fully sequential). Sharding requires the
 	// scheduler to opt in via sched.ConcurrentPlanner — otherwise the knob
@@ -202,7 +211,23 @@ func (c Config) Defaulted() Config {
 type Controller struct {
 	cfg       Config
 	scheduler sched.Scheduler
-	trace     *workload.Trace
+	// source streams the run's arrivals. The controller pulls the next
+	// request from inside the previous arrival's event, so a run never
+	// materializes its trace — memory is bounded by in-flight work, not
+	// request count. Materialized traces arrive wrapped in a TraceSource.
+	source workload.Source
+	// expectSpan/expectPerApp cache source.Expect(): the expected arrival
+	// span (exact for traces) anchors the drain deadline and the outage
+	// horizon before the first event fires; the per-app counts size the
+	// initial warm pools.
+	expectSpan   time.Duration
+	expectPerApp []float64
+	// arrivalSeq is the first of the source.Len() tie-break sequence
+	// numbers reserved for arrivals: arrival i schedules at seq
+	// arrivalSeq+i, exactly as if the whole trace had been scheduled up
+	// front, so streaming runs replay the historical event order.
+	arrivalSeq uint64
+	warmupCut  int
 
 	engine    *simulate.Engine
 	env       *sched.Env
@@ -247,9 +272,25 @@ type Controller struct {
 	lastOutcome  []dispatchStatus
 
 	running   int
-	instances []*queue.Instance
 	deadline  time.Duration
 	truncated bool
+
+	// Instance lifecycle counters and pools. IDs stay unique and monotonic
+	// (instMade), while Done instances recycle through instPool — a
+	// completed instance has no live reference anywhere, so steady-state
+	// memory holds only the in-flight population. Failed instances are
+	// deliberately never recycled: their sibling jobs may still drain.
+	// unfinished at the end of the run is instMade - instDone - instFailed.
+	instMade   int
+	instDone   int
+	instFailed int
+	instPool   []*queue.Instance
+	// instLivePeak tracks the high-water in-flight instance count — the
+	// number the streaming tier's O(1)-memory claim is about.
+	instLivePeak int
+	// jobPool recycles Job structs the same way (arrivals and successor
+	// enqueues draw from it; completed, dropped and orphaned jobs return).
+	jobPool []*queue.Job
 
 	// faults is the run's fault injector, nil when the spec injects
 	// nothing — the nil check keeps every fault branch off the
@@ -263,6 +304,14 @@ type Controller struct {
 
 // New prepares a run of scheduler s over trace tr.
 func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error) {
+	return NewSource(cfg, s, workload.NewTraceSource(tr))
+}
+
+// NewSource prepares a run of scheduler s over a streaming request source.
+// A TraceSource-driven run is byte-identical to the equivalent New run; a
+// generated Stream never materializes, so request counts in the millions
+// cost no memory.
+func NewSource(cfg Config, s sched.Scheduler, src workload.Source) (*Controller, error) {
 	cfg = cfg.Defaulted()
 	clu, err := cluster.New(cfg.Cluster)
 	if err != nil {
@@ -300,16 +349,20 @@ func New(cfg Config, s sched.Scheduler, tr *workload.Trace) (*Controller, error)
 	c := &Controller{
 		cfg:         cfg,
 		scheduler:   s,
-		trace:       tr,
+		source:      src,
 		engine:      simulate.New(),
 		env:         env,
 		clu:         clu,
 		queues:      qs,
-		collector:   metrics.NewCollector(s.Name(), tr.Level.String(), cfg.SLOLevel.String(), cfg.Apps),
+		collector:   metrics.NewCollector(s.Name(), src.Level().String(), cfg.SLOLevel.String(), cfg.Apps),
 		noiseSrc:    rng.New(cfg.Seed ^ 0xE5C9DD4B1A2F3C71),
 		predictors:  make([]*prewarm.Predictor, len(qs.Queues)),
 		lastInvoker: make([]int, len(qs.Queues)),
 		inRecheck:   make([]bool, len(qs.Queues)),
+	}
+	c.expectSpan, c.expectPerApp = src.Expect()
+	if cfg.StreamMetrics {
+		c.collector.SetRecorder(metrics.NewSketchRecorder())
 	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
@@ -358,27 +411,35 @@ func Run(cfg Config, s sched.Scheduler, tr *workload.Trace) (*metrics.Result, er
 	return c.Execute(), nil
 }
 
+// RunSource executes one emulation over a streaming request source.
+func RunSource(cfg Config, s sched.Scheduler, src workload.Source) (*metrics.Result, error) {
+	c, err := NewSource(cfg, s, src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Execute(), nil
+}
+
 // Execute runs all events to completion and finalizes metrics.
 func (c *Controller) Execute() *metrics.Result {
 	c.seedWarmPools()
-	warmupCut := int(c.cfg.WarmupFraction * float64(len(c.trace.Requests)))
-	for _, req := range c.trace.Requests {
-		req := req
-		warmup := req.ID < warmupCut || req.At < c.cfg.WarmupTime
-		c.engine.At(req.At, func() { c.arrive(req, warmup) })
-	}
-	c.deadline = c.trace.Duration() + c.cfg.DrainTimeout
+	c.warmupCut = int(c.cfg.WarmupFraction * float64(c.source.Len()))
+	// Reserve one tie-break sequence slot per request before anything else
+	// is scheduled: pulled-on-demand arrivals then land on exactly the
+	// sequence numbers the historical pre-materialized loop gave them, so
+	// the whole event order — and every artifact byte — is unchanged.
+	c.arrivalSeq = c.engine.ReserveSeq(uint64(c.source.Len()))
+	// Provisional deadline from the expected span — exact for traces, an
+	// analytic expectation for generators (the drain timeout dwarfs any
+	// expectation error). The last arrival pins it to the realized span.
+	c.deadline = c.expectSpan + c.cfg.DrainTimeout
+	c.scheduleNextArrival()
 	c.scheduleOutages()
 	c.engine.Run()
 
-	unfinished := 0
-	for _, inst := range c.instances {
-		// Failed instances were abandoned, not left behind by the drain
-		// deadline: they report through the fault counters instead.
-		if !inst.Done && !inst.Failed {
-			unfinished++
-		}
-	}
+	// Failed instances were abandoned, not left behind by the drain
+	// deadline: they report through the fault counters instead.
+	unfinished := c.instMade - c.instDone - c.instFailed
 	utilCPU, utilGPU := c.clu.Utilization(c.engine.Now())
 	cold, warm := 0, 0
 	for _, inv := range c.clu.Invokers {
@@ -396,25 +457,87 @@ func (c *Controller) Execute() *metrics.Result {
 			Invalidations: st.Invalidations,
 		})
 	}
-	return c.collector.Finalize(cold, warm, unfinished, utilCPU, utilGPU, c.engine.Now())
+	res := c.collector.Finalize(cold, warm, unfinished, utilCPU, utilGPU, c.engine.Now())
+	res.InstanceLivePeak = c.instLivePeak
+	return res
 }
 
 // Truncated reports whether the run hit the drain deadline with work left.
 func (c *Controller) Truncated() bool { return c.truncated }
 
+// InstanceLivePeak returns the high-water count of in-flight instances —
+// the number that bounds a streaming run's memory, independent of the
+// request count.
+func (c *Controller) InstanceLivePeak() int { return c.instLivePeak }
+
+// scheduleNextArrival pulls one request from the source and schedules its
+// arrival on its reserved tie-break slot; the arrival event pulls the next
+// request in turn, so only one pending arrival exists at any time. When the
+// source drains, the deadline pins to the realized span (for traces this is
+// the value the provisional deadline already had).
+func (c *Controller) scheduleNextArrival() {
+	req, ok := c.source.Next()
+	if !ok {
+		c.deadline = c.engine.Now() + c.cfg.DrainTimeout
+		return
+	}
+	warmup := req.ID < c.warmupCut || req.At < c.cfg.WarmupTime
+	c.engine.AtSeq(req.At, c.arrivalSeq+uint64(req.ID), func() {
+		c.scheduleNextArrival()
+		c.arrive(req, warmup)
+	})
+}
+
 // arrive admits one application request.
 func (c *Controller) arrive(req workload.Request, warmup bool) {
 	app := c.cfg.Apps[req.App]
-	inst := queue.NewInstance(len(c.instances), req.App, app, c.engine.Now(), c.env.SLOs[req.App])
+	inst := c.getInstance(req.App, app)
 	inst.Warmup = warmup
-	c.instances = append(c.instances, inst)
 	entry := app.Entry()
-	c.queues.Get(req.App, entry).Push(&queue.Job{
-		Instance:   inst,
-		Stage:      entry,
-		EnqueuedAt: c.engine.Now(),
-	})
+	j := c.getJob()
+	j.Instance = inst
+	j.Stage = entry
+	j.EnqueuedAt = c.engine.Now()
+	c.queues.Get(req.App, entry).Push(j)
 	c.requestPass()
+}
+
+// getInstance returns a recycled (or fresh) instance with the next
+// monotonic ID. IDs never repeat, so attempt keys and shard speculation
+// stay collision-free across recycling.
+func (c *Controller) getInstance(appIndex int, app *workflow.App) *queue.Instance {
+	id := c.instMade
+	c.instMade++
+	if live := c.instMade - c.instDone - c.instFailed; live > c.instLivePeak {
+		c.instLivePeak = live
+	}
+	if n := len(c.instPool); n > 0 {
+		inst := c.instPool[n-1]
+		c.instPool[n-1] = nil
+		c.instPool = c.instPool[:n-1]
+		inst.Reinit(id, appIndex, app, c.engine.Now(), c.env.SLOs[appIndex])
+		return inst
+	}
+	return queue.NewInstance(id, appIndex, app, c.engine.Now(), c.env.SLOs[appIndex])
+}
+
+// getJob returns a recycled (or fresh) zeroed Job.
+func (c *Controller) getJob() *queue.Job {
+	if n := len(c.jobPool); n > 0 {
+		j := c.jobPool[n-1]
+		c.jobPool[n-1] = nil
+		c.jobPool = c.jobPool[:n-1]
+		*j = queue.Job{}
+		return j
+	}
+	return &queue.Job{}
+}
+
+// putJob recycles a consumed job (completed, dropped, or orphaned by its
+// instance's abandonment).
+func (c *Controller) putJob(j *queue.Job) {
+	j.Instance = nil
+	c.jobPool = append(c.jobPool, j)
 }
 
 // requestPass schedules a controller scheduling pass, rate-limited to one
@@ -814,23 +937,32 @@ func (c *Controller) complete(q *queue.AFW, jobs []*queue.Job, cfg profile.Confi
 	c.stateVersion++
 
 	for _, j := range jobs {
-		ready := j.Instance.CompleteStage(j.Stage, inv.ID, now)
-		if j.Instance.Failed {
+		inst := j.Instance
+		ready := inst.CompleteStage(j.Stage, inv.ID, now)
+		if inst.Failed {
 			// The workflow was abandoned (a sibling job exhausted its
 			// retry budget) while this task ran: record the stage but
-			// never feed its successors.
+			// never feed its successors. The instance itself is never
+			// recycled — RecordFailedInstance already took its snapshot
+			// and other pending jobs may still point at it.
+			c.putJob(j)
 			continue
 		}
 		for _, next := range ready {
-			c.queues.Get(j.Instance.AppIndex, next).Push(&queue.Job{
-				Instance:   j.Instance,
-				Stage:      next,
-				EnqueuedAt: now,
-			})
+			nj := c.getJob()
+			nj.Instance = inst
+			nj.Stage = next
+			nj.EnqueuedAt = now
+			c.queues.Get(inst.AppIndex, next).Push(nj)
 		}
-		if j.Instance.Done {
-			c.collector.RecordInstance(j.Instance)
+		if inst.Done {
+			c.collector.RecordInstance(inst)
+			// Every stage has completed, so no job anywhere references the
+			// instance: recycle it for a future arrival.
+			c.instDone++
+			c.instPool = append(c.instPool, inst)
 		}
+		c.putJob(j)
 	}
 	c.putJobBuf(jobs)
 	c.requestPass()
@@ -858,14 +990,14 @@ func (c *Controller) seedWarmPools() {
 	if c.cfg.DisablePreload {
 		return
 	}
-	dur := c.trace.Duration()
+	// Expected span and per-app counts come from the source: exact for
+	// traces (byte-identical pools), analytic expectations for streaming
+	// generators.
+	dur := c.expectSpan
 	if dur <= 0 {
 		return
 	}
-	appJobs := make([]int, len(c.cfg.Apps))
-	for _, req := range c.trace.Requests {
-		appJobs[req.App]++
-	}
+	appJobs := c.expectPerApp
 	// Nominal steady-state task shape used only for pool sizing. Batch 2
 	// reflects the short queues of an uncongested platform; heavier loads
 	// transition into a batched equilibrium (longer queues, larger
@@ -873,7 +1005,10 @@ func (c *Controller) seedWarmPools() {
 	nominal := profile.Config{Batch: 2, CPU: 4, GPU: 2}
 	needPerFn := make([]float64, c.clu.NumFns())
 	for _, q := range c.queues.Queues {
-		rate := float64(appJobs[q.AppIndex]) / dur.Seconds()
+		if q.AppIndex >= len(appJobs) {
+			continue // the source never addresses this app
+		}
+		rate := appJobs[q.AppIndex] / dur.Seconds()
 		if rate <= 0 {
 			continue
 		}

@@ -189,13 +189,17 @@ func (c *Controller) requeueJobs(q *queue.AFW, jobs []*queue.Job) {
 	maxAttempt := 0
 	for _, j := range jobs {
 		if j.Instance.Failed {
-			continue // a sibling stage already abandoned this workflow
+			// A sibling stage already abandoned this workflow: the job is
+			// orphaned and goes back to the pool.
+			c.putJob(j)
+			continue
 		}
 		j.Attempts++
 		if j.Attempts > c.cfg.RetryLimit {
 			c.collector.RecordDroppedJob()
 			c.faults.Note(fault.Event{At: now, Kind: fault.Drop, Invoker: -1, Detail: j.Instance.ID})
 			c.failInstance(j.Instance, now)
+			c.putJob(j)
 			continue
 		}
 		if j.Attempts > maxAttempt {
@@ -243,6 +247,7 @@ func (c *Controller) failInstance(inst *queue.Instance, now time.Duration) {
 	}
 	inst.Failed = true
 	inst.FailedAt = now
+	c.instFailed++
 	c.collector.RecordFailedInstance(inst)
 }
 

@@ -38,7 +38,11 @@ func randomMiniCell(seed uint64) miniScaleCell {
 		requests: 120 + int(src.Uint64()%180),    // 120..299 requests
 		apps:     workflow.ScaleApps(),
 	}
-	c.trace = workload.GenerateCompressed(workload.Heavy, c.load, c.requests, len(c.apps), rng.New(seed))
+	tr, err := workload.GenerateCompressed(workload.Heavy, c.load, c.requests, len(c.apps), rng.New(seed))
+	if err != nil {
+		panic(err)
+	}
+	c.trace = tr
 	return c
 }
 

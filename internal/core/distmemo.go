@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/esg-sched/esg/internal/dominator"
+	"github.com/esg-sched/esg/internal/sched"
+)
+
+// distKey identifies one dominator-based SLO distribution: the application
+// (by name — app definitions are immutable for a run grid) and the maximal
+// function-group size it was computed for. The distribution depends on
+// nothing else: ANL weights come from the profile registry, which a grid
+// sharing a DistMemo must hold fixed.
+type distKey struct {
+	App       string
+	GroupSize int
+}
+
+// DistMemo shares dominator-based SLO distributions across ESG instances.
+// A single ESG scheduler already memoizes its distributions per app, but a
+// grid of runs (the planet scenario's schedulers × arrival shapes) builds a
+// fresh scheduler per cell and would recompute the identical distributions
+// — ANL, reduction tree, quota split — once per cell. Hanging one DistMemo
+// on every ESG instance of the grid (ESG.Dists) pays each distribution
+// exactly once.
+//
+// Distributions are read-only after construction (RemainingSequence only
+// reads), so sharing across concurrent cells is safe; the lock covers only
+// the map and counters.
+type DistMemo struct {
+	mu      sync.Mutex
+	entries map[distKey]*dominator.Distribution
+	stats   sched.TrainingMemoStats
+}
+
+// NewDistMemo returns an empty distribution memo.
+func NewDistMemo() *DistMemo {
+	return &DistMemo{entries: make(map[distKey]*dominator.Distribution)}
+}
+
+// Lookup returns the memoized distribution for (app, groupSize).
+func (m *DistMemo) Lookup(app string, groupSize int) (*dominator.Distribution, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.entries[distKey{app, groupSize}]; ok {
+		m.stats.Hits++
+		return d, true
+	}
+	m.stats.Misses++
+	return nil, false
+}
+
+// Store records a freshly computed distribution. Concurrent fills of one
+// key store identical results (the computation is deterministic in the
+// key), so last-write-wins is sound.
+func (m *DistMemo) Store(app string, groupSize int, d *dominator.Distribution) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[distKey{app, groupSize}] = d
+}
+
+// Stats returns the memo's aggregate hit/miss counters.
+func (m *DistMemo) Stats() sched.TrainingMemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

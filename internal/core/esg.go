@@ -34,6 +34,11 @@ type ESG struct {
 	DisableGPUSharing bool
 	// DisableBatching forces batch size 1 (the Fig. 12 ablation).
 	DisableBatching bool
+	// Dists, when non-nil, is a distribution memo shared with other ESG
+	// instances of a run grid (see DistMemo). The per-instance dists map
+	// still fronts it, so the shared memo's lock is off the steady-state
+	// Plan path.
+	Dists *DistMemo
 
 	// cache, when non-nil, memoizes ESG_1Q searches across Plan calls.
 	cache *PlanCache
@@ -114,6 +119,12 @@ func (e *ESG) distribution(env *sched.Env, appIndex int) *dominator.Distribution
 		return d
 	}
 	app := env.Apps[appIndex]
+	if e.Dists != nil {
+		if d, ok := e.Dists.Lookup(app.Name, e.GroupSize); ok {
+			e.dists[appIndex] = d
+			return d
+		}
+	}
 	anl := dominator.ANL(app, env.Oracle)
 	d, err := dominator.Distribute(app, anl, e.GroupSize)
 	if err != nil {
@@ -123,6 +134,9 @@ func (e *ESG) distribution(env *sched.Env, appIndex int) *dominator.Distribution
 		if err != nil {
 			panic(err) // cannot happen: size-1 grouping has no branch spans
 		}
+	}
+	if e.Dists != nil {
+		e.Dists.Store(app.Name, e.GroupSize, d)
 	}
 	e.dists[appIndex] = d
 	return d

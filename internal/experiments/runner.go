@@ -34,6 +34,12 @@ type Cell struct {
 	// Trace, when non-nil, overrides the level-derived request trace (the
 	// scale scenarios compress arrival intervals beyond any Level).
 	Trace *workload.Trace
+	// Source, when non-nil, overrides both Trace and the level-derived
+	// trace with a streaming request source built fresh inside the worker
+	// that executes the cell (sources are stateful iterators, so they are
+	// never shared across runs). The planet scenario uses generated
+	// streams here so its request counts never materialize.
+	Source func() workload.Source
 	// Tune, when non-nil, adjusts the assembled controller configuration
 	// before the run (custom clusters, application sets, timeouts).
 	Tune func(*controller.Config)
@@ -277,11 +283,16 @@ func (r *Runner) runCell(c Cell) (*metrics.Result, error) {
 	if c.Tune != nil {
 		c.Tune(&cfg)
 	}
-	tr := c.Trace
-	if tr == nil {
-		tr = r.Trace(c.Level)
+	var res *metrics.Result
+	if c.Source != nil {
+		res, err = controller.RunSource(cfg, s, c.Source())
+	} else {
+		tr := c.Trace
+		if tr == nil {
+			tr = r.Trace(c.Level)
+		}
+		res, err = controller.Run(cfg, s, tr)
 	}
-	res, err := controller.Run(cfg, s, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -70,7 +70,14 @@ func ScaleCluster(nodes int) cluster.Config {
 
 // ScaleTrace generates the compressed heavy trace over the scale app set.
 func ScaleTrace(seed uint64, spec ScaleSpec, apps int) *workload.Trace {
-	return workload.GenerateCompressed(workload.Heavy, spec.LoadFactor, spec.Requests, apps, rng.New(seed))
+	tr, err := workload.GenerateCompressed(workload.Heavy, spec.LoadFactor, spec.Requests, apps, rng.New(seed))
+	if err != nil {
+		// ScaleScenario normalizes the spec (positive LoadFactor and
+		// Requests) before building cells, so a failure here is a caller
+		// bug, not input.
+		panic(err)
+	}
+	return tr
 }
 
 // ScaleCell builds one scale-scenario cell for a named scheduler.
@@ -149,7 +156,9 @@ func ScaleScenario(r *Runner, spec ScaleSpec) (*Table, error) {
 		}
 		throughput := 0.0
 		if res.SimTime > 0 {
-			throughput = float64(len(res.Records)) / res.SimTime.Seconds()
+			// TotalRecords, not len(Records): identical under the exact
+			// recorder, and the only record count a streaming run has.
+			throughput = float64(res.TotalRecords) / res.SimTime.Seconds()
 		}
 		t.Rows = append(t.Rows, []string{
 			name,

@@ -55,9 +55,18 @@ type Result struct {
 	SLOLevel  string
 
 	// Records lists every completed instance in completion order
-	// (including warm-up instances, which are flagged).
+	// (including warm-up instances, which are flagged). It is nil under the
+	// streaming sketch recorder; TotalRecords carries the count either way.
 	Records []InstanceRecord
 	PerApp  []AppSummary
+	// TotalRecords counts every finished instance (warm-up and failed
+	// included) — len(Records) under the exact recorder, a plain counter
+	// under the streaming one.
+	TotalRecords int
+	// InstanceLivePeak is the run's high-water count of in-flight workflow
+	// instances — the figure that bounds a streaming run's memory,
+	// independent of the request count.
+	InstanceLivePeak int
 
 	// Aggregates over measured (non-warm-up) instances.
 	Instances  int
@@ -67,8 +76,10 @@ type Result struct {
 	MeanCost   units.Money
 	Unfinished int
 
-	// Scheduling diagnostics.
+	// Scheduling diagnostics. Overheads is nil under the streaming sketch
+	// recorder, which summarizes into OverheadSummary instead.
 	Overheads       []time.Duration
+	OverheadSummary *stats.Box
 	Tasks           int
 	ForcedMin       int
 	PrePlannedPlans int
@@ -167,8 +178,12 @@ func (r *Result) MissRate() float64 {
 }
 
 // OverheadBox summarizes the scheduling-overhead distribution in
-// milliseconds (Fig. 10).
+// milliseconds (Fig. 10). Under the streaming recorder, which keeps no
+// per-sample series, the summary comes from the overhead sketch.
 func (r *Result) OverheadBox() stats.Box {
+	if r.Overheads == nil && r.OverheadSummary != nil {
+		return *r.OverheadSummary
+	}
 	return stats.BoxOf(stats.DurationsToMillis(r.Overheads))
 }
 
@@ -195,15 +210,16 @@ func (r *Result) Summary() string {
 	return s
 }
 
-// Collector accumulates observations during a run.
+// Collector accumulates observations during a run. Per-sample storage is
+// delegated to a LatencyRecorder — exact by default, streaming via
+// SetRecorder(NewSketchRecorder()) for planet-scale runs.
 type Collector struct {
 	scheduler string
 	workload  string
 	sloLevel  string
 	apps      []*workflow.App
 
-	records   []InstanceRecord
-	overheads []time.Duration
+	recorder LatencyRecorder
 
 	tasks      int
 	forcedMin  int
@@ -225,14 +241,20 @@ type PlanCacheCounters struct {
 	Invalidations uint64
 }
 
-// NewCollector starts collection for one run.
+// NewCollector starts collection for one run with the exact (stored-sample)
+// recorder.
 func NewCollector(scheduler, workload, sloLevel string, apps []*workflow.App) *Collector {
-	return &Collector{scheduler: scheduler, workload: workload, sloLevel: sloLevel, apps: apps}
+	return &Collector{scheduler: scheduler, workload: workload, sloLevel: sloLevel,
+		apps: apps, recorder: NewExactRecorder()}
 }
+
+// SetRecorder swaps the latency-recording policy; call it before the run
+// records anything.
+func (c *Collector) SetRecorder(r LatencyRecorder) { c.recorder = r }
 
 // RecordPlan notes one scheduler Plan call.
 func (c *Collector) RecordPlan(overhead time.Duration, prePlanned, miss bool) {
-	c.overheads = append(c.overheads, overhead)
+	c.recorder.ObserveOverhead(overhead)
 	if prePlanned {
 		c.prePlanned++
 		if miss {
@@ -257,7 +279,7 @@ func (c *Collector) RecordCacheStats(pc PlanCacheCounters) {
 
 // RecordInstance notes one completed workflow instance.
 func (c *Collector) RecordInstance(inst *queue.Instance) {
-	c.records = append(c.records, InstanceRecord{
+	c.recorder.ObserveInstance(InstanceRecord{
 		AppIndex:  inst.AppIndex,
 		Arrival:   inst.Arrival,
 		Completed: inst.CompletedAt,
@@ -272,7 +294,7 @@ func (c *Collector) RecordInstance(inst *queue.Instance) {
 // RecordFailedInstance notes a workflow instance abandoned under fault
 // injection (its record carries the abandonment time and never hits).
 func (c *Collector) RecordFailedInstance(inst *queue.Instance) {
-	c.records = append(c.records, InstanceRecord{
+	c.recorder.ObserveInstance(InstanceRecord{
 		AppIndex:  inst.AppIndex,
 		Arrival:   inst.Arrival,
 		Completed: inst.FailedAt,
@@ -328,8 +350,6 @@ func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, ut
 		Scheduler:              c.scheduler,
 		Workload:               c.workload,
 		SLOLevel:               c.sloLevel,
-		Records:                c.records,
-		Overheads:              c.overheads,
 		Tasks:                  c.tasks,
 		ForcedMin:              c.forcedMin,
 		PrePlannedPlans:        c.prePlanned,
@@ -348,52 +368,6 @@ func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, ut
 		UtilGPU:                utilGPU,
 		SimTime:                simTime,
 	}
-
-	perApp := make([]AppSummary, len(c.apps))
-	for i, app := range c.apps {
-		perApp[i].Name = app.Name
-	}
-	var totalCost units.Money
-	for _, rec := range r.Records {
-		if rec.Warmup {
-			continue
-		}
-		if rec.Failed {
-			// Abandoned instances never complete: they count toward
-			// SLOAttainment's denominator, not the completion aggregates.
-			r.Faults.FailedInstances++
-			continue
-		}
-		s := &perApp[rec.AppIndex]
-		s.Instances++
-		s.Cost += rec.Cost
-		s.SLOMS = float64(rec.SLO) / float64(time.Millisecond)
-		s.Latencies = append(s.Latencies, rec.Latency)
-		if rec.Hit {
-			s.Hits++
-		}
-		r.Instances++
-		totalCost += rec.Cost
-		if rec.Hit {
-			r.Hits++
-		}
-	}
-	for i := range perApp {
-		s := &perApp[i]
-		if s.Instances > 0 {
-			s.HitRate = float64(s.Hits) / float64(s.Instances)
-			ms := stats.DurationsToMillis(s.Latencies)
-			s.MeanLatencyMS = stats.Mean(ms)
-			s.P50MS = stats.Percentile(ms, 50)
-			s.P95MS = stats.Percentile(ms, 95)
-			s.P99MS = stats.Percentile(ms, 99)
-		}
-	}
-	r.PerApp = perApp
-	r.TotalCost = totalCost
-	if r.Instances > 0 {
-		r.HitRate = float64(r.Hits) / float64(r.Instances)
-		r.MeanCost = totalCost / units.Money(r.Instances)
-	}
+	c.recorder.finalizeInto(r, c.apps)
 	return r
 }

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/queue"
+	"github.com/esg-sched/esg/internal/rng"
+	"github.com/esg-sched/esg/internal/stats"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+func newFailedInstance(app *workflow.App, appIdx int, arrival, failedAt, slo time.Duration, warmup bool) *queue.Instance {
+	inst := queue.NewInstance(0, appIdx, app, arrival, slo)
+	inst.Warmup = warmup
+	inst.Failed = true
+	inst.FailedAt = failedAt
+	return inst
+}
+
+// Exact and sketch recorders fed the same run must agree exactly on every
+// count, cost and rate, and within the sketch error bound on percentiles.
+func TestSketchRecorderMatchesExact(t *testing.T) {
+	apps := []*workflow.App{workflow.Chain("a", "f1", "f2"), workflow.Chain("b", "f3")}
+	exact := NewCollector("ESG", "heavy", "relaxed", apps)
+	sk := NewCollector("ESG", "heavy", "relaxed", apps)
+	sk.SetRecorder(NewSketchRecorder())
+
+	src := rng.New(77)
+	for i := 0; i < 4000; i++ {
+		appIdx := src.IntN(2)
+		lat := time.Duration(float64(200*time.Millisecond) * math.Exp(0.5*src.Normal()))
+		slo := 300 * time.Millisecond
+		warm := i < 100
+		inst := doneInstance(apps[appIdx], appIdx, time.Duration(i)*time.Millisecond, lat, slo, warm, 100)
+		exact.RecordInstance(inst)
+		sk.RecordInstance(inst)
+		if i%3 == 0 {
+			ov := time.Duration(1+src.IntN(5)) * time.Millisecond
+			exact.RecordPlan(ov, true, false)
+			sk.RecordPlan(ov, true, false)
+		}
+	}
+	re := exact.Finalize(10, 20, 0, 0.5, 0.6, time.Minute)
+	rs := sk.Finalize(10, 20, 0, 0.5, 0.6, time.Minute)
+
+	if rs.Records != nil || rs.Overheads != nil {
+		t.Fatalf("sketch recorder stored per-sample series")
+	}
+	if rs.TotalRecords != re.TotalRecords || re.TotalRecords != len(re.Records) {
+		t.Fatalf("TotalRecords: sketch %d, exact %d, len %d", rs.TotalRecords, re.TotalRecords, len(re.Records))
+	}
+	if rs.Instances != re.Instances || rs.Hits != re.Hits || rs.HitRate != re.HitRate ||
+		rs.TotalCost != re.TotalCost || rs.MeanCost != re.MeanCost {
+		t.Fatalf("aggregates diverge: sketch %+v exact %+v", rs, re)
+	}
+	// 2× the sketch bound: the exact recorder interpolates between ranks
+	// while the sketch reports nearest rank.
+	bound := 2*stats.RelativeErrorBound() + 1e-9
+	for i := range re.PerApp {
+		ae, as := re.PerApp[i], rs.PerApp[i]
+		if as.Name != ae.Name || as.Instances != ae.Instances || as.Hits != ae.Hits ||
+			as.HitRate != ae.HitRate || as.Cost != ae.Cost || as.SLOMS != ae.SLOMS {
+			t.Fatalf("app %d counters diverge: sketch %+v exact %+v", i, as, ae)
+		}
+		if rel := math.Abs(as.MeanLatencyMS-ae.MeanLatencyMS) / ae.MeanLatencyMS; rel > 1e-9 {
+			t.Fatalf("app %d mean: sketch %v exact %v", i, as.MeanLatencyMS, ae.MeanLatencyMS)
+		}
+		for _, q := range [][2]float64{{50, as.P50MS}, {95, as.P95MS}, {99, as.P99MS}} {
+			var want float64
+			switch q[0] {
+			case 50:
+				want = ae.P50MS
+			case 95:
+				want = ae.P95MS
+			default:
+				want = ae.P99MS
+			}
+			if rel := math.Abs(q[1]-want) / want; rel > bound {
+				t.Fatalf("app %d p%v: sketch %v vs exact %v (rel %.4f)", i, q[0], q[1], want, rel)
+			}
+		}
+	}
+	be, bs := re.OverheadBox(), rs.OverheadBox()
+	if bs.N != be.N || bs.Min != be.Min || bs.Max != be.Max {
+		t.Fatalf("overhead box exact fields diverge: sketch %+v exact %+v", bs, be)
+	}
+}
+
+// Failed and warm-up instances stream into the right counters.
+func TestSketchRecorderFailedInstances(t *testing.T) {
+	apps := []*workflow.App{workflow.Chain("a", "f1")}
+	c := NewCollector("ESG", "heavy", "relaxed", apps)
+	c.SetRecorder(NewSketchRecorder())
+
+	c.RecordInstance(doneInstance(apps[0], 0, 0, 50*time.Millisecond, 100*time.Millisecond, false, 10))
+	fail := newFailedInstance(apps[0], 0, 0, 80*time.Millisecond, 100*time.Millisecond, false)
+	c.RecordFailedInstance(fail)
+	warmFail := newFailedInstance(apps[0], 0, 0, 90*time.Millisecond, 100*time.Millisecond, true)
+	c.RecordFailedInstance(warmFail)
+
+	r := c.Finalize(0, 0, 0, 0, 0, time.Second)
+	if r.TotalRecords != 3 {
+		t.Fatalf("TotalRecords = %d, want 3", r.TotalRecords)
+	}
+	if r.Instances != 1 || r.Faults.FailedInstances != 1 {
+		t.Fatalf("instances=%d failed=%d; warm-up failures must not count", r.Instances, r.Faults.FailedInstances)
+	}
+	if att := r.SLOAttainment(); att != 0.5 {
+		t.Fatalf("SLOAttainment = %v, want 0.5", att)
+	}
+}

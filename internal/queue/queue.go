@@ -69,6 +69,33 @@ func NewInstance(id, appIndex int, app *workflow.App, arrival, slo time.Duration
 	return inst
 }
 
+// Reinit recycles an instance struct for a new request, reusing the
+// stage-tracking storage. Only fully-completed (Done) instances may be
+// recycled: a Done instance has no live job referencing it anywhere, so the
+// controller's instance pool can hand its memory to the next arrival and a
+// streaming run's live instance count stays bounded by concurrency instead
+// of trace length.
+func (in *Instance) Reinit(id, appIndex int, app *workflow.App, arrival, slo time.Duration) {
+	n := app.Len()
+	si := in.stageInvoker
+	if cap(si) < n {
+		si = make([]int32, n)
+	}
+	si = si[:n]
+	for i := range si {
+		si[i] = -1
+	}
+	*in = Instance{
+		ID:           id,
+		AppIndex:     appIndex,
+		App:          app,
+		Arrival:      arrival,
+		SLO:          slo,
+		stageInvoker: si,
+		remaining:    n,
+	}
+}
+
 // StageDone reports whether the stage has completed. A stage is done
 // exactly when an invoker has been recorded for it.
 func (in *Instance) StageDone(stage int) bool { return in.stageInvoker[stage] >= 0 }

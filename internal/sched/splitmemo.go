@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"sync"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+// splitKey identifies one mean-service SLO split: the application (by
+// name) and the end-to-end SLO being distributed. The split otherwise
+// depends only on the registry's minimum-configuration execution times,
+// which a grid sharing a SplitMemo must hold fixed.
+type splitKey struct {
+	App string
+	SLO time.Duration
+}
+
+// SplitMemo shares MeanServiceSplit results across scheduler instances.
+// INFless and FaST-GShare each memoize their splits per run, but a grid of
+// runs (the planet scenario's schedulers × arrival shapes) rebuilds its
+// schedulers per cell and would recompute the identical splits — a
+// registry lookup and proportional divide per stage — once per cell.
+// Splits handed out are frozen: callers only index them.
+type SplitMemo struct {
+	mu      sync.Mutex
+	entries map[splitKey][]time.Duration
+	stats   TrainingMemoStats
+}
+
+// NewSplitMemo returns an empty split memo.
+func NewSplitMemo() *SplitMemo {
+	return &SplitMemo{entries: make(map[splitKey][]time.Duration)}
+}
+
+// Split returns the mean-service split of slo over app's stages, computing
+// and memoizing it on first use.
+func (m *SplitMemo) Split(app *workflow.App, reg *profile.Registry, slo time.Duration) []time.Duration {
+	k := splitKey{app.Name, slo}
+	m.mu.Lock()
+	if s, ok := m.entries[k]; ok {
+		m.stats.Hits++
+		m.mu.Unlock()
+		return s
+	}
+	m.stats.Misses++
+	m.mu.Unlock()
+	// Compute outside the lock: the split is deterministic in the key, so
+	// concurrent fills store identical slices.
+	s := MeanServiceSplit(app, reg, slo)
+	s = s[:len(s):len(s)]
+	m.mu.Lock()
+	m.entries[k] = s
+	m.mu.Unlock()
+	return s
+}
+
+// Stats returns the memo's aggregate hit/miss counters.
+func (m *SplitMemo) Stats() TrainingMemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

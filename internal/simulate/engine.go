@@ -58,6 +58,32 @@ func (e *Engine) At(t time.Duration, fn func()) {
 	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
+// ReserveSeq skips the next n tie-break sequence numbers, handing them to
+// the caller for AtSeq. The controller reserves one slot per workload
+// request before any other event is scheduled: arrivals pulled lazily from
+// a streaming source then tie-break exactly as if the whole trace had been
+// scheduled up front, so streaming and materialized runs replay the same
+// event order bit for bit.
+func (e *Engine) ReserveSeq(n uint64) uint64 {
+	first := e.seq + 1
+	e.seq += n
+	return first
+}
+
+// AtSeq schedules fn at absolute time t with an explicit tie-break
+// sequence previously obtained from ReserveSeq. The heap order is total on
+// (time, seq), so when the event is inserted is irrelevant — only the
+// reserved slot decides how it ties.
+func (e *Engine) AtSeq(t time.Duration, seq uint64, fn func()) {
+	if e.frozen != "" {
+		panic("simulate: event scheduled during frozen window: " + e.frozen)
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.push(event{at: t, seq: seq, fn: fn})
+}
+
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d time.Duration, fn func()) {
 	if d < 0 {

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+)
+
+// sketchGamma is the log-bucket growth factor. Bucket i covers
+// [gamma^i, gamma^(i+1)), so any value reported from a bucket midpoint is
+// within a sqrt(gamma) factor of the true value — a relative quantile error
+// of about 1%. The layout is a package constant: every sketch uses the same
+// bin edges, which is what makes merges and exports seed-stable regardless
+// of fill order.
+const sketchGamma = 1.02
+
+var invLogGamma = 1 / math.Log(sketchGamma)
+
+// Sketch is a deterministic mergeable quantile sketch: a log-bucketed
+// histogram over positive values with a fixed global bin layout. Memory is
+// O(spread) — the number of distinct buckets touched, bounded by the
+// dynamic range of the data, never by the observation count — so a
+// million-request run summarizes latencies in a few kilobytes.
+//
+// Count, Sum, Min and Max are exact; Quantile is approximate within the
+// sketchGamma relative-error bound. The zero value is an empty sketch ready
+// for use.
+type Sketch struct {
+	// counts[i] holds the observations of bucket offset+i. The slice (not
+	// a map) keeps iteration order — and therefore every derived number —
+	// a pure function of the recorded multiset.
+	counts []uint64
+	offset int
+	// zeros counts non-positive observations, which have no log bucket.
+	// They sort below every positive value.
+	zeros    uint64
+	n        uint64
+	sum      float64
+	min, max float64
+}
+
+// bucketIndex maps a positive value to its global bucket index.
+func bucketIndex(x float64) int {
+	return int(math.Floor(math.Log(x) * invLogGamma))
+}
+
+// Observe records one value.
+func (s *Sketch) Observe(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	if x <= 0 {
+		s.zeros++
+		return
+	}
+	s.bump(bucketIndex(x), 1)
+}
+
+// bump adds c observations to global bucket i, growing the window to cover
+// it.
+func (s *Sketch) bump(i int, c uint64) {
+	if len(s.counts) == 0 {
+		s.counts = append(s.counts, c)
+		s.offset = i
+		return
+	}
+	if i < s.offset {
+		grown := make([]uint64, len(s.counts)+(s.offset-i))
+		copy(grown[s.offset-i:], s.counts)
+		s.counts = grown
+		s.offset = i
+	} else if i >= s.offset+len(s.counts) {
+		grown := make([]uint64, i-s.offset+1)
+		copy(grown, s.counts)
+		s.counts = grown
+	}
+	s.counts[i-s.offset] += c
+}
+
+// Count returns the number of recorded observations.
+func (s *Sketch) Count() uint64 { return s.n }
+
+// Sum returns the exact sum of recorded observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Mean returns the exact mean (0 for an empty sketch).
+func (s *Sketch) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the exact minimum (0 for an empty sketch).
+func (s *Sketch) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the exact maximum (0 for an empty sketch).
+func (s *Sketch) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the approximate p-th percentile (0 <= p <= 100) by
+// nearest rank over the bucket counts, reporting the geometric midpoint of
+// the selected bucket clamped to the exact [min, max]. For any recorded
+// distribution the result is within a factor of sqrt(sketchGamma) (≈1%) of
+// the exact nearest-rank value.
+func (s *Sketch) Quantile(p float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.min
+	}
+	if p >= 100 {
+		return s.max
+	}
+	// Nearest rank, aligned with percentileSorted's index scale (rank 0 is
+	// the minimum, rank n-1 the maximum).
+	rank := uint64(math.Floor(p/100*float64(s.n-1) + 0.5))
+	if rank < s.zeros {
+		return s.clamp(s.min)
+	}
+	seen := s.zeros
+	for i, c := range s.counts {
+		seen += c
+		if seen > rank {
+			edge := float64(s.offset + i)
+			mid := math.Exp((edge + 0.5) * math.Log(sketchGamma))
+			return s.clamp(mid)
+		}
+	}
+	return s.max
+}
+
+func (s *Sketch) clamp(x float64) float64 {
+	if x < s.min {
+		return s.min
+	}
+	if x > s.max {
+		return s.max
+	}
+	return x
+}
+
+// Merge folds o into s. Because every sketch shares the global bin layout,
+// merging is bucket-wise addition: the result is identical to having
+// observed both value streams into one sketch, in any order.
+func (s *Sketch) Merge(o *Sketch) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.zeros += o.zeros
+	for i, c := range o.counts {
+		if c != 0 {
+			s.bump(o.offset+i, c)
+		}
+	}
+}
+
+// Box returns the five-number summary plus mean, with the quartiles read
+// from the sketch (Min/Max/Mean/N are exact).
+func (s *Sketch) Box() Box {
+	if s.n == 0 {
+		return Box{}
+	}
+	return Box{
+		Min:    s.Min(),
+		Q1:     s.Quantile(25),
+		Median: s.Quantile(50),
+		Q3:     s.Quantile(75),
+		Max:    s.Max(),
+		Mean:   s.Mean(),
+		N:      int(s.n),
+	}
+}
+
+// Buckets returns the number of occupied buckets (diagnostics: the memory
+// footprint driver).
+func (s *Sketch) Buckets() int {
+	occupied := 0
+	for _, c := range s.counts {
+		if c != 0 {
+			occupied++
+		}
+	}
+	return occupied
+}
+
+// RelativeErrorBound returns the sketch's worst-case relative quantile
+// error (≈1%): any reported quantile q satisfies
+// |q - exact| <= bound · exact for positive data.
+func RelativeErrorBound() float64 { return math.Sqrt(sketchGamma) - 1 }

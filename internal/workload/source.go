@@ -1,0 +1,341 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/esg-sched/esg/internal/rng"
+)
+
+// Source is a pull-based request stream: the controller consumes arrivals
+// one at a time, so a run's memory footprint no longer scales with the
+// request count. A Source is single-use and strictly sequential — the
+// controller owns it for the duration of one run.
+//
+// Every implementation is deterministic for a fixed construction (seed,
+// shape, size): the i-th request returned is a pure function of those
+// inputs, never of consumption timing.
+type Source interface {
+	// Len returns the total number of requests the stream will yield.
+	Len() int
+	// Apps returns the number of applications request App indices cover.
+	Apps() int
+	// Level returns the workload intensity shaping the arrival process.
+	Level() Level
+	// Next returns the next request in arrival order; ok is false once
+	// Len() requests have been yielded.
+	Next() (req Request, ok bool)
+	// Expect returns the expected arrival span and expected per-app request
+	// counts without consuming the stream. For a materialized trace these
+	// are exact; for generators they are analytic expectations. The
+	// controller sizes warm pools from them before the first arrival.
+	Expect() (span time.Duration, perApp []float64)
+}
+
+// TraceSource adapts a materialized Trace to the Source interface. Its
+// Expect values are exact, so a run driven through it is byte-identical to
+// the historical pre-materialized path.
+type TraceSource struct {
+	trace *Trace
+	next  int
+}
+
+// NewTraceSource returns a Source yielding tr's requests in order.
+func NewTraceSource(tr *Trace) *TraceSource { return &TraceSource{trace: tr} }
+
+// Len returns the trace length.
+func (s *TraceSource) Len() int { return len(s.trace.Requests) }
+
+// Apps returns the number of distinct app indices the trace can address
+// (one past the highest index used).
+func (s *TraceSource) Apps() int {
+	apps := 0
+	for _, r := range s.trace.Requests {
+		if r.App+1 > apps {
+			apps = r.App + 1
+		}
+	}
+	return apps
+}
+
+// Level returns the trace's workload level.
+func (s *TraceSource) Level() Level { return s.trace.Level }
+
+// Next yields the next stored request.
+func (s *TraceSource) Next() (Request, bool) {
+	if s.next >= len(s.trace.Requests) {
+		return Request{}, false
+	}
+	r := s.trace.Requests[s.next]
+	s.next++
+	return r, true
+}
+
+// Expect returns the trace's exact span and per-app counts.
+func (s *TraceSource) Expect() (time.Duration, []float64) {
+	perApp := make([]float64, s.Apps())
+	for _, r := range s.trace.Requests {
+		perApp[r.App]++
+	}
+	return s.trace.Duration(), perApp
+}
+
+// Shape selects a generated arrival process.
+type Shape int
+
+const (
+	// Uniform reproduces GenerateCompressed's arrival process exactly:
+	// i.i.d. uniform intervals, uniform app choice. Stream(Uniform, ...)
+	// makes the same random draws as the materialized generator.
+	Uniform Shape = iota
+	// Diurnal modulates the arrival rate sinusoidally — the day/night
+	// traffic swing of production serverless traces. Rate swings between
+	// 0.4× and 1.6× the level's base rate over six "days" per run (each
+	// day capped at a fixed request count for long streams).
+	Diurnal
+	// Burst overlays flash crowds: during the first 20% of each of twenty
+	// equal windows (capped at a fixed request count for long streams) the
+	// arrival rate is 5× the base rate.
+	Burst
+	// MultiTenant skews app choice harmonically (tenant i+1 gets
+	// weight 1/(i+1)) over uniform arrivals — a few dominant tenants and a
+	// long tail sharing the platform.
+	MultiTenant
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case Diurnal:
+		return "diurnal"
+	case Burst:
+		return "burst"
+	case MultiTenant:
+		return "multitenant"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// ShapeNames lists the accepted -arrival shape names in definition order.
+func ShapeNames() []string {
+	return []string{"uniform", "diurnal", "burst", "multitenant"}
+}
+
+// ParseShape resolves an -arrival shape name.
+func ParseShape(name string) (Shape, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "uniform":
+		return Uniform, nil
+	case "diurnal":
+		return Diurnal, nil
+	case "burst":
+		return Burst, nil
+	case "multitenant":
+		return MultiTenant, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown arrival shape %q (have %s)",
+			name, strings.Join(ShapeNames(), ", "))
+	}
+}
+
+// Diurnal/burst shape constants. Modulation runs in request-index space:
+// short streams see diurnalDays sine periods (resp. burstWindows burst
+// windows) across the run, while long streams cap the period at a fixed
+// request count, so the backlog a modulation peak can pile up — and with
+// it the run's live-instance memory — is O(1) in the stream length.
+const (
+	diurnalDays      = 6   // sine periods per run (before the cap)
+	diurnalAmplitude = 0.6 // rate swings within [1-a, 1+a]× base
+	diurnalMaxPeriod = 20000
+
+	burstWindows   = 20  // equal windows per run (before the cap)
+	burstDuty      = 0.2 // leading fraction of each window that bursts
+	burstFactor    = 5.0 // rate multiplier inside a burst
+	burstMaxWindow = 5000
+)
+
+// Stream is a generated request stream: O(1) memory regardless of length,
+// deterministic for a given (shape, level, speedup, n, apps, seed).
+type Stream struct {
+	shape   Shape
+	level   Level
+	speedup float64
+	n, apps int
+
+	src *rng.Source
+	i   int
+	now time.Duration
+
+	// period is the index-space modulation period in requests (0 when the
+	// rate is unmodulated); span is the analytic expected total span.
+	period int
+	span   time.Duration
+	// cumWeight is MultiTenant's cumulative app-selection distribution.
+	cumWeight []float64
+}
+
+// NewStream returns a generated request stream. It rejects the same
+// impossible shapes as GenerateCompressed.
+func NewStream(shape Shape, level Level, speedup float64, n, apps int, src *rng.Source) (*Stream, error) {
+	if err := validateShape(speedup, n, apps); err != nil {
+		return nil, err
+	}
+	s := &Stream{shape: shape, level: level, speedup: speedup, n: n, apps: apps, src: src}
+	switch shape {
+	case Diurnal:
+		s.period = capPeriod(n/diurnalDays, diurnalMaxPeriod)
+	case Burst:
+		s.period = capPeriod(n/burstWindows, burstMaxWindow)
+	case MultiTenant:
+		w := make([]float64, apps)
+		total := 0.0
+		for i := range w {
+			w[i] = 1 / float64(i+1)
+			total += w[i]
+		}
+		cum := make([]float64, apps)
+		acc := 0.0
+		for i := range w {
+			acc += w[i] / total
+			cum[i] = acc
+		}
+		cum[apps-1] = 1 // absorb rounding: the last tenant owns the tail
+		s.cumWeight = cum
+	}
+	lo, hi := level.IntervalRange()
+	base := (float64(lo) + float64(hi)) / 2 / speedup
+	// The expected span is base × Σ 1/rate(i): the rate multiplier is a
+	// deterministic function of the request index, so only the uniform
+	// interval draw is random. Periodicity keeps the sum O(period).
+	s.span = time.Duration(base * s.sumInvRate(n))
+	return s, nil
+}
+
+// capPeriod bounds an index-space modulation period to [minPeriod, max].
+func capPeriod(p, max int) int {
+	const minPeriod = 8 // at least one modulated index even in tiny streams
+	if p < minPeriod {
+		return minPeriod
+	}
+	if p > max {
+		return max
+	}
+	return p
+}
+
+// sumInvRate returns Σ_{i<n} 1/rate(i), exploiting the index-space
+// periodicity of the modulation.
+func (s *Stream) sumInvRate(n int) float64 {
+	if s.period == 0 || n == 0 {
+		return float64(n)
+	}
+	one := 0.0
+	for i := 0; i < s.period && i < n; i++ {
+		one += 1 / s.rateFor(i)
+	}
+	if n <= s.period {
+		return one
+	}
+	full, rem := n/s.period, n%s.period
+	sum := float64(full) * one
+	for i := 0; i < rem; i++ {
+		sum += 1 / s.rateFor(i)
+	}
+	return sum
+}
+
+// Len returns the stream length.
+func (s *Stream) Len() int { return s.n }
+
+// Apps returns the number of applications.
+func (s *Stream) Apps() int { return s.apps }
+
+// Level returns the workload level.
+func (s *Stream) Level() Level { return s.level }
+
+// Shape returns the arrival shape.
+func (s *Stream) Shape() Shape { return s.shape }
+
+// Period returns the index-space modulation period in requests (0 when
+// the rate is unmodulated).
+func (s *Stream) Period() int { return s.period }
+
+// Next generates the next arrival. Each request consumes a fixed number of
+// random draws, so the i-th request depends only on the construction
+// inputs.
+func (s *Stream) Next() (Request, bool) {
+	if s.i >= s.n {
+		return Request{}, false
+	}
+	lo, hi := s.level.IntervalRange()
+	base := s.src.UniformIn(float64(lo), float64(hi)) / s.speedup
+	iv := time.Duration(base / s.rateFor(s.i))
+	s.now += iv
+	app := 0
+	if s.cumWeight != nil {
+		u := s.src.Float64()
+		app = sort.SearchFloat64s(s.cumWeight, u)
+		if app >= s.apps {
+			app = s.apps - 1
+		}
+	} else {
+		app = s.src.IntN(s.apps)
+	}
+	r := Request{ID: s.i, App: app, At: s.now, Interval: iv}
+	s.i++
+	return r, true
+}
+
+// rateFor returns the rate multiplier of the i-th request — a pure
+// function of the index, so generation and Expect agree exactly.
+func (s *Stream) rateFor(i int) float64 {
+	switch s.shape {
+	case Diurnal:
+		phase := float64(i%s.period) / float64(s.period)
+		return 1 + diurnalAmplitude*math.Sin(2*math.Pi*phase)
+	case Burst:
+		phase := float64(i%s.period) / float64(s.period)
+		if phase < burstDuty {
+			return burstFactor
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// Expect returns the analytic expected span and per-app counts.
+func (s *Stream) Expect() (time.Duration, []float64) {
+	perApp := make([]float64, s.apps)
+	if s.cumWeight != nil {
+		prev := 0.0
+		for i, c := range s.cumWeight {
+			perApp[i] = float64(s.n) * (c - prev)
+			prev = c
+		}
+	} else {
+		for i := range perApp {
+			perApp[i] = float64(s.n) / float64(s.apps)
+		}
+	}
+	return s.span, perApp
+}
+
+// validateShape is the shared Source/trace shape check.
+func validateShape(speedup float64, n, apps int) error {
+	if n < 0 {
+		return fmt.Errorf("workload: negative request count %d", n)
+	}
+	if apps < 1 {
+		return fmt.Errorf("workload: need at least one application, got %d", apps)
+	}
+	if !(speedup > 0) { // rejects NaN too
+		return fmt.Errorf("workload: speedup must be positive, got %v", speedup)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/rng"
+)
+
+// drain consumes a source to a slice (test-only; production consumers never
+// materialize).
+func drain(t *testing.T, s Source) []Request {
+	t.Helper()
+	out := make([]Request, 0, s.Len())
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if len(out) != s.Len() {
+		t.Fatalf("source yielded %d requests, Len() = %d", len(out), s.Len())
+	}
+	if r, ok := s.Next(); ok {
+		t.Fatalf("exhausted source yielded %+v", r)
+	}
+	return out
+}
+
+func TestTraceSourceYieldsTraceExactly(t *testing.T) {
+	tr := Generate(Normal, 300, 4, rng.New(42))
+	s := NewTraceSource(tr)
+	if s.Level() != Normal || s.Apps() != 4 {
+		t.Fatalf("Level/Apps = %v/%d", s.Level(), s.Apps())
+	}
+	span, perApp := s.Expect()
+	if span != tr.Duration() {
+		t.Fatalf("Expect span %v != trace duration %v", span, tr.Duration())
+	}
+	total := 0.0
+	for _, c := range perApp {
+		total += c
+	}
+	if total != 300 {
+		t.Fatalf("Expect perApp sums to %v, want 300", total)
+	}
+	for i, r := range drain(t, s) {
+		if r != tr.Requests[i] {
+			t.Fatalf("request %d: source %+v != trace %+v", i, r, tr.Requests[i])
+		}
+	}
+}
+
+// The Uniform stream must make the exact random draws of the materialized
+// generator: that equivalence is what lets huge runs stream while small
+// ones stay byte-identical through the trace path.
+func TestUniformStreamMatchesGenerateCompressed(t *testing.T) {
+	tr, err := GenerateCompressed(Heavy, 50, 400, 8, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(Uniform, Heavy, 50, 400, 8, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range drain(t, s) {
+		if r != tr.Requests[i] {
+			t.Fatalf("request %d: stream %+v != trace %+v", i, r, tr.Requests[i])
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	for _, shape := range []Shape{Uniform, Diurnal, Burst, MultiTenant} {
+		a, _ := NewStream(shape, Heavy, 100, 500, 6, rng.New(11))
+		b, _ := NewStream(shape, Heavy, 100, 500, 6, rng.New(11))
+		ra, rb := drain(t, a), drain(t, b)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("%v stream diverged at request %d", shape, i)
+			}
+		}
+	}
+}
+
+func TestStreamShapesWellFormed(t *testing.T) {
+	for _, shape := range []Shape{Diurnal, Burst, MultiTenant} {
+		s, err := NewStream(shape, Heavy, 100, 2000, 6, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev time.Duration
+		for i, r := range drain(t, s) {
+			if r.ID != i {
+				t.Fatalf("%v: request %d has ID %d", shape, i, r.ID)
+			}
+			if r.Interval <= 0 {
+				t.Fatalf("%v: non-positive interval %v", shape, r.Interval)
+			}
+			if r.At != prev+r.Interval {
+				t.Fatalf("%v: arrival %v inconsistent with interval", shape, r.At)
+			}
+			prev = r.At
+			if r.App < 0 || r.App >= 6 {
+				t.Fatalf("%v: app index %d out of range", shape, r.App)
+			}
+		}
+	}
+}
+
+// Diurnal and burst shapes must actually modulate the rate: requests in
+// the fast phase of the modulation period arrive markedly faster than
+// requests in the slow phase.
+func TestStreamShapesModulateRate(t *testing.T) {
+	for _, shape := range []Shape{Diurnal, Burst} {
+		s, _ := NewStream(shape, Heavy, 100, 4000, 4, rng.New(5))
+		p := s.Period()
+		if p <= 0 {
+			t.Fatalf("%v: no modulation period", shape)
+		}
+		var fastSum, slowSum float64
+		var fastN, slowN int
+		for i, r := range drain(t, s) {
+			phase := float64(i%p) / float64(p)
+			// Diurnal is fastest around phase 0.25 (sine peak) and slowest
+			// around 0.75; burst is fastest inside the leading duty window.
+			switch {
+			case phase < 0.3:
+				fastSum += float64(r.Interval)
+				fastN++
+			case phase > 0.55 && phase < 0.95:
+				slowSum += float64(r.Interval)
+				slowN++
+			}
+		}
+		fast, slow := fastSum/float64(fastN), slowSum/float64(slowN)
+		if slow < 1.3*fast {
+			t.Errorf("%v: fast-phase mean interval %.0f vs slow-phase %.0f — no visible modulation",
+				shape, fast, slow)
+		}
+	}
+}
+
+func TestMultiTenantSkew(t *testing.T) {
+	s, _ := NewStream(MultiTenant, Heavy, 100, 6000, 6, rng.New(9))
+	counts := make([]int, 6)
+	for _, r := range drain(t, s) {
+		counts[r.App]++
+	}
+	if counts[0] <= counts[5] {
+		t.Fatalf("tenant 0 (%d) not dominant over tenant 5 (%d)", counts[0], counts[5])
+	}
+	// Harmonic weights: tenant 0 expects ~41% of traffic, tenant 5 ~7%.
+	if counts[0] < 6000*30/100 || counts[5] > 6000*15/100 {
+		t.Errorf("skew off: counts %v", counts)
+	}
+	_, perApp := s.Expect()
+	total := 0.0
+	for _, c := range perApp {
+		total += c
+	}
+	if total < 5999.9 || total > 6000.1 {
+		t.Errorf("Expect perApp sums to %v, want 6000", total)
+	}
+	if perApp[0] <= perApp[5] {
+		t.Errorf("Expect perApp not skewed: %v", perApp)
+	}
+}
+
+func TestStreamExpectSpanReasonable(t *testing.T) {
+	for _, shape := range []Shape{Uniform, Diurnal, Burst, MultiTenant} {
+		s, _ := NewStream(shape, Heavy, 100, 5000, 4, rng.New(13))
+		span, _ := s.Expect()
+		reqs := drain(t, s)
+		actual := reqs[len(reqs)-1].At
+		ratio := float64(actual) / float64(span)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%v: actual span %v vs expected %v (ratio %.2f)", shape, actual, span, ratio)
+		}
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	for i, name := range ShapeNames() {
+		s, err := ParseShape(name)
+		if err != nil || s != Shape(i) {
+			t.Fatalf("ParseShape(%q) = %v, %v", name, s, err)
+		}
+		if s.String() != name {
+			t.Fatalf("Shape(%d).String() = %q, want %q", i, s.String(), name)
+		}
+	}
+	if s, err := ParseShape(" Diurnal "); err != nil || s != Diurnal {
+		t.Fatalf("ParseShape is not case/space insensitive: %v, %v", s, err)
+	}
+	if _, err := ParseShape("sawtooth"); err == nil || !strings.Contains(err.Error(), "sawtooth") {
+		t.Fatalf("ParseShape(sawtooth) error = %v", err)
+	}
+}
+
+func TestGenerateCompressedRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		speedup float64
+		n, apps int
+		want    string
+	}{
+		{"negative n", 1, -1, 4, "negative request count"},
+		{"zero apps", 1, 10, 0, "at least one application"},
+		{"zero speedup", 0, 10, 4, "speedup must be positive"},
+		{"negative speedup", -2, 10, 4, "speedup must be positive"},
+	}
+	for _, c := range cases {
+		tr, err := GenerateCompressed(Heavy, c.speedup, c.n, c.apps, rng.New(1))
+		if err == nil || tr != nil {
+			t.Fatalf("%s: no error (trace %v)", c.name, tr)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+		if _, err := NewStream(Uniform, Heavy, c.speedup, c.n, c.apps, rng.New(1)); err == nil {
+			t.Errorf("%s: NewStream accepted the shape", c.name)
+		}
+	}
+	if tr, err := GenerateCompressed(Heavy, 1, 0, 4, rng.New(1)); err != nil || len(tr.Requests) != 0 {
+		t.Fatalf("n=0 should be a valid empty trace: %v, %v", tr, err)
+	}
+}

@@ -72,9 +72,14 @@ type Trace struct {
 }
 
 // Generate builds a trace of n requests over apps applications at the given
-// level, deterministically from src.
+// level, deterministically from src. It panics on shapes no trace can have
+// (negative n, apps < 1); use GenerateCompressed to handle them as errors.
 func Generate(level Level, n, apps int, src *rng.Source) *Trace {
-	return GenerateCompressed(level, 1, n, apps, src)
+	tr, err := GenerateCompressed(level, 1, n, apps, src)
+	if err != nil {
+		panic(err)
+	}
+	return tr
 }
 
 // GenerateCompressed builds a trace with the level's arrival pattern sped
@@ -82,12 +87,11 @@ func Generate(level Level, n, apps int, src *rng.Source) *Trace {
 // the arrival rate while preserving the relative arrival structure (and the
 // random draws) of the uncompressed trace. speedup 1 reproduces Generate;
 // e.g. 100 yields 100× the paper's load for scale stress scenarios.
-func GenerateCompressed(level Level, speedup float64, n, apps int, src *rng.Source) *Trace {
-	if n < 0 || apps < 1 || speedup <= 0 {
-		// CLI-originated sizes are rejected earlier by cli.Options.Validate;
-		// reaching this panic means a programmatic caller passed a shape no
-		// trace can have.
-		panic("workload: invalid trace shape")
+// Impossible shapes — negative n, apps < 1, speedup <= 0 (which would run
+// time backwards or collapse every arrival onto t=0) — return an error.
+func GenerateCompressed(level Level, speedup float64, n, apps int, src *rng.Source) (*Trace, error) {
+	if err := validateShape(speedup, n, apps); err != nil {
+		return nil, err
 	}
 	lo, hi := level.IntervalRange()
 	tr := &Trace{Level: level, Requests: make([]Request, 0, n)}
@@ -99,7 +103,7 @@ func GenerateCompressed(level Level, speedup float64, n, apps int, src *rng.Sour
 			ID: i, App: src.IntN(apps), At: now, Interval: iv,
 		})
 	}
-	return tr
+	return tr, nil
 }
 
 // Duration returns the arrival time of the last request.
