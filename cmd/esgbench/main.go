@@ -105,9 +105,14 @@ func main() {
 	r.DisableBaselineMemo = !opts.BaselineMemo
 	// Zero fields select ScaleScenario's defaults (256 nodes, 100×,
 	// 30000 × -scale requests, the adaptive schedulers).
-	scaleSpec = experiments.ScaleSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Replan: opts.Replan}
+	xferSpec := experiments.XferSpec{}
+	if opts.Xfer {
+		xferSpec = experiments.XferSpec{Enabled: true, OutFactor: opts.XferOut,
+			PCIeMBps: opts.PCIe, NICMBps: opts.NIC}
+	}
+	scaleSpec = experiments.ScaleSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Replan: opts.Replan, Xfer: xferSpec}
 	faultSpec = opts.FaultSpec()
-	planetSpec = experiments.PlanetSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Arrival: opts.Arrival}
+	planetSpec = experiments.PlanetSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Arrival: opts.Arrival, Xfer: xferSpec}
 	var progress io.Writer = os.Stderr
 	if opts.Quiet {
 		progress = nil

@@ -43,6 +43,14 @@ type Options struct {
 	ColdFail        float64
 	Straggler       float64
 	StragglerFactor float64
+
+	// Data-movement knobs (valid only with -scenario scale/chaos/planet).
+	// Without -xfer the transfer model stays disabled and artifacts are
+	// byte-identical to pre-fabric builds.
+	Xfer    bool
+	XferOut float64
+	PCIe    float64
+	NIC     float64
 }
 
 // synopsis heads the help text; the flag defaults below it are printed by
@@ -89,6 +97,10 @@ func NewFlagSet(o *Options) *flag.FlagSet {
 	fs.Float64Var(&o.ColdFail, "coldfail", 0, "chaos scenario: per-cold-start failure probability in [0,1]")
 	fs.Float64Var(&o.Straggler, "straggler", 0, "chaos scenario: per-task straggler probability in [0,1]; stragglers run -stragglerfactor slower and are re-dispatched at the controller's timeout")
 	fs.Float64Var(&o.StragglerFactor, "stragglerfactor", 0, "chaos scenario: execution-time multiplier of stragglers (default 8)")
+	fs.BoolVar(&o.Xfer, "xfer", false, "scale/chaos/planet scenario: enable the data-movement model — inter-stage handoffs move the producer's output over per-invoker PCIe/NIC links with deterministic fair-share contention, placement weighs warm starts against transfer cost, and metrics report cross-server bytes and transfer time")
+	fs.Float64Var(&o.XferOut, "xferout", 1, "with -xfer: per-stage output size as a multiple of the function's Table 3 input size")
+	fs.Float64Var(&o.PCIe, "pcie", 12000, "with -xfer: per-invoker host-GPU PCIe bandwidth in MB/s (0 = unconstrained)")
+	fs.Float64Var(&o.NIC, "nic", 1250, "with -xfer: per-invoker cross-node NIC bandwidth in MB/s (0 = unconstrained)")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	return fs
 }
@@ -146,6 +158,28 @@ func (o *Options) Validate() error {
 	}
 	if err := spec.Validate(); err != nil {
 		return err
+	}
+	if !o.Xfer {
+		// The satellite knobs are only meaningful with the model on;
+		// silently ignoring a changed value would misreport the run.
+		if o.XferOut != 1 || o.PCIe != 12000 || o.NIC != 1250 {
+			return fmt.Errorf("transfer flags (-xferout, -pcie, -nic) require -xfer")
+		}
+		return nil
+	}
+	switch o.Scenario {
+	case "scale", "chaos", "planet":
+	default:
+		return fmt.Errorf("-xfer requires -scenario scale, chaos or planet")
+	}
+	if o.XferOut <= 0 {
+		return fmt.Errorf("-xferout must be > 0, got %g", o.XferOut)
+	}
+	if o.PCIe < 0 || o.NIC < 0 {
+		return fmt.Errorf("-pcie and -nic must be >= 0, got %g and %g", o.PCIe, o.NIC)
+	}
+	if o.PCIe == 0 && o.NIC == 0 {
+		return fmt.Errorf("-xfer needs at least one constrained link: set -pcie or -nic above 0")
 	}
 	return nil
 }

@@ -29,6 +29,10 @@ type Config struct {
 	// through remote storage.
 	RemoteBandwidthMBps float64
 	RemoteLatency       time.Duration
+	// Topology, when enabled, replaces the flat TransferTime model with
+	// per-invoker PCIe/NIC links under fair-share contention (see Fabric).
+	// The zero value keeps the historical flat model byte for byte.
+	Topology Topology
 }
 
 // DefaultConfig returns the paper's testbed shape (§4, Table 2).
@@ -66,7 +70,7 @@ func (c Config) Validate() error {
 	case c.RemoteBandwidthMBps <= 0:
 		return fmt.Errorf("cluster: remote bandwidth must be positive")
 	}
-	return nil
+	return c.Topology.Validate()
 }
 
 // Shapes returns the per-invoker capacities the config describes.
@@ -102,8 +106,12 @@ func (c Config) TransferTime(sizeMB float64, sameNode bool) time.Duration {
 type Cluster struct {
 	Cfg      Config
 	Invokers []*Invoker
-	idx      *fleetIndex
-	fns      interner
+	// Fabric is the data-movement fabric behind Cfg.Topology, nil when the
+	// topology is disabled — the nil check keeps every transfer-model
+	// branch off the historical hot path.
+	Fabric *Fabric
+	idx    *fleetIndex
+	fns    interner
 }
 
 // New builds a cluster per cfg.
@@ -112,7 +120,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	shapes := cfg.Shapes()
-	c := &Cluster{Cfg: cfg, idx: newFleetIndex(shapes)}
+	c := &Cluster{Cfg: cfg, idx: newFleetIndex(shapes), Fabric: NewFabric(cfg, len(shapes))}
 	for i, shape := range shapes {
 		c.Invokers = append(c.Invokers, newInvoker(i, shape, cfg.KeepAlive, c.idx))
 	}

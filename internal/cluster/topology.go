@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology models the data-movement fabric of the fleet: each invoker owns
+// a host↔GPU PCIe link and a cross-node NIC link, and every inter-stage
+// handoff occupies the links it traverses. The zero value disables the
+// model entirely (infinite bandwidth, zero occupancy): the emulator then
+// falls back to Config.TransferTime's flat latency model and every
+// artifact stays byte-identical to runs predating the fabric.
+//
+// Bandwidths are per-link, in MB/s. A zero bandwidth on one link class
+// means that class is unconstrained (infinite), so NIC-only or PCIe-only
+// topologies are expressible.
+type Topology struct {
+	// PCIeMBps is each invoker's host↔GPU PCIe bandwidth. Same-node
+	// handoffs traverse only the consumer's PCIe link.
+	PCIeMBps float64
+	// NICMBps is each invoker's cross-node NIC bandwidth. Cross-node
+	// handoffs traverse the producer's NIC, the consumer's NIC and the
+	// consumer's PCIe link.
+	NICMBps float64
+}
+
+// Enabled reports whether the topology constrains any link — the single
+// gate behind every data-movement code path.
+func (t Topology) Enabled() bool { return t.PCIeMBps > 0 || t.NICMBps > 0 }
+
+// Validate checks the topology's parameters.
+func (t Topology) Validate() error {
+	if t.PCIeMBps < 0 || t.NICMBps < 0 {
+		return fmt.Errorf("cluster: topology bandwidths must be non-negative, got pcie=%g nic=%g", t.PCIeMBps, t.NICMBps)
+	}
+	return nil
+}
+
+// link tracks the in-flight transfers of one fabric link as their finish
+// times. The slice is lazily pruned at or below the query time, so its
+// length is bounded by the link's concurrent transfer count, not the run
+// length, and entries recycle in place.
+type link struct {
+	busy []time.Duration
+}
+
+// active prunes finished transfers and returns the in-flight count at now.
+func (l *link) active(now time.Duration) int {
+	kept := l.busy[:0]
+	for _, t := range l.busy {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	l.busy = kept
+	return len(kept)
+}
+
+// occupy registers a transfer finishing at the given time.
+func (l *link) occupy(finish time.Duration) {
+	l.busy = append(l.busy, finish)
+}
+
+// Fabric is the runtime state of a Topology: per-invoker link occupancy
+// under deterministic fair-share contention. A transfer starting at time
+// now sees each traversed link's bandwidth divided by (1 + the link's
+// in-flight transfer count) — a deterministic fluid approximation of
+// fair-share scheduling — and its duration is the path latency plus the
+// payload over the bottleneck share. All methods are single-threaded, like
+// the event dispatch path that drives them.
+type Fabric struct {
+	topo Topology
+	// localLatency/remoteLatency reuse the flat model's per-hop latencies
+	// (Config.LocalTransfer, Config.RemoteLatency).
+	localLatency  time.Duration
+	remoteLatency time.Duration
+	nic           []link
+	pcie          []link
+	// scratch holds the links touched by the transfer in progress,
+	// recycled across calls so the dispatch path never allocates.
+	scratch []*link
+}
+
+// NewFabric builds the fabric for a fleet of n invokers, or nil when the
+// topology is disabled.
+func NewFabric(cfg Config, n int) *Fabric {
+	if !cfg.Topology.Enabled() {
+		return nil
+	}
+	return &Fabric{
+		topo:          cfg.Topology,
+		localLatency:  cfg.LocalTransfer,
+		remoteLatency: cfg.RemoteLatency,
+		nic:           make([]link, n),
+		pcie:          make([]link, n),
+	}
+}
+
+// Estimate returns the modeled duration of a sizeMB transfer from invoker
+// src to invoker dst starting at now, without occupying any link — the
+// pure query placement policies use to weigh a remote warm start against a
+// data-local cold start. A negative src (no recorded producer) is treated
+// as a remote pull through the consumer's links only.
+func (f *Fabric) Estimate(sizeMB float64, src, dst int, now time.Duration) time.Duration {
+	return f.transfer(sizeMB, src, dst, now, false)
+}
+
+// Start registers a sizeMB transfer from invoker src to invoker dst
+// beginning at now and returns its modeled duration. The transfer occupies
+// every traversed link until it finishes, slowing transfers that start
+// while it is in flight.
+func (f *Fabric) Start(sizeMB float64, src, dst int, now time.Duration) time.Duration {
+	return f.transfer(sizeMB, src, dst, now, true)
+}
+
+// transfer computes (and optionally registers) one transfer. Same-node
+// handoffs traverse the consumer's PCIe link; cross-node handoffs add the
+// producer's and consumer's NICs. The fair share of each traversed link is
+// its bandwidth over (1 + in-flight transfers); the payload moves at the
+// bottleneck share.
+func (f *Fabric) transfer(sizeMB float64, src, dst int, now time.Duration, register bool) time.Duration {
+	lat := f.remoteLatency
+	if src == dst {
+		lat = f.localLatency
+	}
+	var bottleneck float64 // MB/s; 0 = unconstrained
+	touched := f.scratch[:0]
+	consider := func(l *link, bw float64) {
+		share := bw / float64(1+l.active(now))
+		if bottleneck == 0 || share < bottleneck {
+			bottleneck = share
+		}
+		touched = append(touched, l)
+	}
+	if src != dst && f.topo.NICMBps > 0 {
+		if src >= 0 {
+			consider(&f.nic[src], f.topo.NICMBps)
+		}
+		consider(&f.nic[dst], f.topo.NICMBps)
+	}
+	if f.topo.PCIeMBps > 0 {
+		consider(&f.pcie[dst], f.topo.PCIeMBps)
+	}
+	d := lat
+	if sizeMB > 0 && bottleneck > 0 {
+		d += time.Duration(sizeMB / bottleneck * float64(time.Second))
+	}
+	if register && sizeMB > 0 {
+		finish := now + d
+		for _, l := range touched {
+			l.occupy(finish)
+		}
+	}
+	f.scratch = touched[:0]
+	return d
+}

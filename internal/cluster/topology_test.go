@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fabricConfig builds a config with the given link bandwidths and the
+// default per-hop latencies (2ms local, 5ms remote).
+func fabricConfig(pcie, nic float64) Config {
+	cfg := DefaultConfig()
+	cfg.Topology = Topology{PCIeMBps: pcie, NICMBps: nic}
+	return cfg
+}
+
+func TestTopologyDisabledByDefault(t *testing.T) {
+	var topo Topology
+	if topo.Enabled() {
+		t.Errorf("zero topology reports enabled")
+	}
+	if f := NewFabric(DefaultConfig(), 4); f != nil {
+		t.Errorf("default config built a fabric")
+	}
+	c := MustNew(DefaultConfig())
+	if c.Fabric != nil {
+		t.Errorf("default cluster carries a fabric")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{PCIeMBps: -1}).Validate(); err == nil {
+		t.Errorf("negative PCIe bandwidth accepted")
+	}
+	if err := (Topology{NICMBps: -1}).Validate(); err == nil {
+		t.Errorf("negative NIC bandwidth accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Topology = Topology{PCIeMBps: -5}
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("cluster config accepted a negative topology")
+	}
+}
+
+func TestFabricSameNodeUsesPCIeOnly(t *testing.T) {
+	// 100 MB/s PCIe, NIC unconstrained: a same-node 100 MB handoff takes
+	// the 2ms local latency plus one second of PCIe time.
+	f := NewFabric(fabricConfig(100, 0), 4)
+	got := f.Estimate(100, 1, 1, 0)
+	want := 2*time.Millisecond + time.Second
+	if got != want {
+		t.Errorf("same-node transfer = %v, want %v", got, want)
+	}
+}
+
+func TestFabricCrossNodeBottleneck(t *testing.T) {
+	// NIC 50 MB/s is the bottleneck of the cross-node path (producer NIC,
+	// consumer NIC, consumer PCIe at 100 MB/s): 100 MB takes the 5ms
+	// remote latency plus two seconds.
+	f := NewFabric(fabricConfig(100, 50), 4)
+	got := f.Estimate(100, 0, 1, 0)
+	want := 5*time.Millisecond + 2*time.Second
+	if got != want {
+		t.Errorf("cross-node transfer = %v, want %v", got, want)
+	}
+	// An unknown producer (src < 0) pulls through the consumer's links
+	// only — same bottleneck here.
+	if got := f.Estimate(100, -1, 1, 0); got != want {
+		t.Errorf("remote pull = %v, want %v", got, want)
+	}
+}
+
+func TestFabricFairShareContention(t *testing.T) {
+	f := NewFabric(fabricConfig(100, 0), 4)
+	first := f.Start(100, 2, 2, 0)
+	if want := 2*time.Millisecond + time.Second; first != want {
+		t.Fatalf("uncontended transfer = %v, want %v", first, want)
+	}
+	// A second transfer on the same PCIe link while the first is in
+	// flight gets half the bandwidth.
+	second := f.Estimate(100, 2, 2, time.Millisecond)
+	if want := 2*time.Millisecond + 2*time.Second; second != want {
+		t.Errorf("contended transfer = %v, want %v", second, want)
+	}
+	// A different invoker's link is unaffected.
+	if got := f.Estimate(100, 3, 3, time.Millisecond); got != first {
+		t.Errorf("other-link transfer = %v, want %v", got, first)
+	}
+	// Once the first transfer finishes, the link returns to full share.
+	after := f.Estimate(100, 2, 2, 2*time.Second)
+	if after != first {
+		t.Errorf("post-completion transfer = %v, want %v", after, first)
+	}
+}
+
+func TestFabricEstimateDoesNotOccupy(t *testing.T) {
+	f := NewFabric(fabricConfig(100, 0), 2)
+	a := f.Estimate(100, 0, 0, 0)
+	b := f.Estimate(100, 0, 0, 0)
+	if a != b {
+		t.Errorf("repeated estimates differ: %v vs %v", a, b)
+	}
+	f.Start(100, 0, 0, 0)
+	if got := f.Estimate(100, 0, 0, 0); got == a {
+		t.Errorf("Start left no occupancy behind")
+	}
+}
+
+func TestFabricZeroSizeIsLatencyOnly(t *testing.T) {
+	f := NewFabric(fabricConfig(100, 50), 2)
+	if got := f.Start(0, 0, 1, 0); got != 5*time.Millisecond {
+		t.Errorf("empty cross-node transfer = %v, want bare remote latency", got)
+	}
+	// Zero-size transfers must not occupy links either.
+	if got := f.Estimate(100, 0, 1, 0); got != 5*time.Millisecond+2*time.Second {
+		t.Errorf("link occupied by a zero-size transfer: %v", got)
+	}
+}

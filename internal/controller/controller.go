@@ -833,7 +833,12 @@ func (c *Controller) dispatch(q *queue.AFW, cfg profile.Config, inv *cluster.Inv
 	if !warm {
 		coldPenalty = fn.ColdStart
 	}
-	transfer := c.transferTime(q, jobs, inv, fn)
+	var transfer time.Duration
+	if c.clu.Fabric != nil {
+		transfer = c.modelTransfer(q, jobs, inv, now)
+	} else {
+		transfer = c.transferTime(q, jobs, inv, fn)
+	}
 	exec := c.cfg.Noise.Sample(fn.Exec(cfg), c.noiseSrc)
 
 	// Dispatch-time fault decision. The draw is skipped entirely on the
@@ -870,6 +875,22 @@ func (c *Controller) dispatch(q *queue.AFW, cfg profile.Config, inv *cluster.Inv
 	c.ensureWarmPool(q.FnID)
 
 	if c.faults == nil {
+		if c.clu.Fabric != nil && transfer > 0 {
+			// With the data-movement model on, the handoff occupies the
+			// event heap as its own transfer event; execution is scheduled
+			// when the data has arrived. The completion time is exactly
+			// overhead+held either way. (Under fault injection below, the
+			// transfer stays folded into the single flight event so crash
+			// aborts keep their one cancellation point.)
+			c.engine.Transfer(overhead+coldPenalty+transfer, func() {
+				c.engine.After(exec, func() {
+					c.planners[q.ID].ObserveDuration(held)
+					c.chargeTask(jobs, res, held)
+					c.complete(q, jobs, cfg, inv, warm)
+				})
+			})
+			return
+		}
 		// Historical fast path: no flight tracking, no fault branches.
 		c.engine.After(overhead+held, func() {
 			c.planners[q.ID].ObserveDuration(held)
@@ -923,6 +944,40 @@ func (c *Controller) transferTime(q *queue.AFW, jobs []*queue.Job, inv *cluster.
 			}
 		}
 	}
+	return worst
+}
+
+// modelTransfer charges a task's input collection against the data-movement
+// fabric: one hop per (job, predecessor edge), each moving the producer's
+// profiled output payload from the invoker that ran it. Hops fetch in
+// parallel, so the task waits for its slowest hop; every hop still occupies
+// its links for its own duration, which is what makes concurrent transfers
+// contend. Only called when the fabric is enabled (Cluster.Fabric non-nil).
+func (c *Controller) modelTransfer(q *queue.AFW, jobs []*queue.Job, inv *cluster.Invoker, now time.Duration) time.Duration {
+	preds := q.App.Stage(q.Stage).Preds
+	if len(preds) == 0 {
+		return 0
+	}
+	fab := c.clu.Fabric
+	var worst time.Duration
+	hops, cross := 0, 0
+	var crossMB float64
+	for _, j := range jobs {
+		for _, p := range preds {
+			src := j.Instance.StageInvoker(p)
+			out := c.fnProfiles[c.queues.Get(q.AppIndex, p).FnID].OutputMB
+			d := fab.Start(out, src, inv.ID, now)
+			if d > worst {
+				worst = d
+			}
+			hops++
+			if src != inv.ID {
+				cross++
+				crossMB += out
+			}
+		}
+	}
+	c.collector.RecordTransfer(hops, cross, crossMB, worst)
 	return worst
 }
 

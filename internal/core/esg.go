@@ -185,12 +185,16 @@ func (e *ESG) Plan(env *sched.Env, q *queue.AFW, now time.Duration) sched.Plan {
 		tables[i] = env.StageTable(q.AppIndex, s)
 	}
 
+	// GroupHop folds the data-movement model's expected per-edge transfer
+	// into the search when the topology is enabled (HopTransfer otherwise,
+	// unchanged). It is a pure function of static config, so concurrent
+	// planning stays sound and the plan cache keys on the hop value.
 	in := SearchInput{
 		Tables:        tables,
 		GSLO:          gslo,
 		MaxFirstBatch: q.Len(),
 		K:             e.K,
-		Hop:           env.HopTransfer(),
+		Hop:           env.GroupHop(q.AppIndex, stages),
 		Filter:        e.configFilter(env),
 	}
 	var res SearchResult

@@ -52,6 +52,7 @@ func ChaosScenario(r *Runner, spec ScaleSpec, faults fault.Spec) (*Table, error)
 	if spec.Replan <= 0 {
 		spec.Replan = 1
 	}
+	spec.Xfer = spec.Xfer.Defaulted()
 	if len(spec.Schedulers) == 0 {
 		spec.Schedulers = DefaultScaleSpec().Schedulers
 	}
@@ -63,6 +64,10 @@ func ChaosScenario(r *Runner, spec ScaleSpec, faults fault.Spec) (*Table, error)
 	}
 	if faults.StragglerRate > 0 {
 		title += fmt.Sprintf(", stragglers %g%% at %g×", faults.StragglerRate*100, faults.StragglerFactor)
+	}
+	if spec.Xfer.Enabled {
+		title += fmt.Sprintf(", transfers at PCIe %g / NIC %g MB/s",
+			spec.Xfer.PCIeMBps, spec.Xfer.NICMBps)
 	}
 	t := &Table{
 		ID:    "chaos",

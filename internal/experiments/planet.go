@@ -40,6 +40,9 @@ type PlanetSpec struct {
 	// Schedulers lists the algorithms to run (default ESG — the planet
 	// tier stresses scale, not the comparison; add baselines explicitly).
 	Schedulers []string
+	// Xfer enables and shapes the data-movement model (zero value: off,
+	// byte-identical to pre-fabric builds).
+	Xfer XferSpec
 }
 
 // planetShapes resolves the spec's arrival selection.
@@ -103,6 +106,7 @@ func (r *Runner) PlanetCell(name string, shape workload.Shape, spec PlanetSpec, 
 	apps := workflow.ScaleApps()
 	c := r.ComparisonCell(name, workload.Heavy, workflow.Relaxed)
 	c.Key = fmt.Sprintf("planet/%s/%s/%dn/%gx/%dr", name, shape, spec.Nodes, spec.LoadFactor, spec.Requests)
+	c.Key += spec.Xfer.keySuffix()
 	baseMake := c.Make
 	c.Make = func() (sched.Scheduler, error) {
 		s, err := baseMake()
@@ -132,6 +136,7 @@ func (r *Runner) PlanetCell(name string, shape workload.Shape, spec PlanetSpec, 
 		// the paper's 50 s time-based warm-up cut would swallow it; 1 ns
 		// leaves only the request-fraction warm-up window.
 		cfg.WarmupTime = 1
+		spec.Xfer.tune(cfg)
 	}
 	return c
 }
@@ -154,6 +159,7 @@ func PlanetScenario(r *Runner, spec PlanetSpec) (*Table, error) {
 			spec.Requests = 20000
 		}
 	}
+	spec.Xfer = spec.Xfer.Defaulted()
 	if len(spec.Schedulers) == 0 {
 		spec.Schedulers = []string{ESG}
 	}
@@ -162,12 +168,20 @@ func PlanetScenario(r *Runner, spec PlanetSpec) (*Table, error) {
 		return nil, err
 	}
 	memos := newPlanetMemos()
+	title := fmt.Sprintf("Planet stress: %d nodes, %g× heavy load, %d apps, %d streamed requests",
+		spec.Nodes, spec.LoadFactor, len(workflow.ScaleApps()), spec.Requests)
+	if spec.Xfer.Enabled {
+		title += fmt.Sprintf(", transfers at PCIe %g / NIC %g MB/s",
+			spec.Xfer.PCIeMBps, spec.Xfer.NICMBps)
+	}
 	t := &Table{
-		ID: "planet",
-		Title: fmt.Sprintf("Planet stress: %d nodes, %g× heavy load, %d apps, %d streamed requests",
-			spec.Nodes, spec.LoadFactor, len(workflow.ScaleApps()), spec.Requests),
+		ID:    "planet",
+		Title: title,
 		Columns: []string{"Scheduler", "Arrival", "Wall (s)", "Sim (s)", "Req/sim-s",
 			"Hit rate", "Attain", "Tasks", "Cold", "Warm", "Live peak", "Unfinished"},
+	}
+	if spec.Xfer.Enabled {
+		t.Columns = append(t.Columns, "Cross-MB", "Xfer (s)")
 	}
 	for _, name := range spec.Schedulers {
 		for _, shape := range shapes {
@@ -185,7 +199,7 @@ func PlanetScenario(r *Runner, spec PlanetSpec) (*Table, error) {
 			if res.SimTime > 0 {
 				throughput = float64(res.TotalRecords) / res.SimTime.Seconds()
 			}
-			t.Rows = append(t.Rows, []string{
+			row := []string{
 				name,
 				shape.String(),
 				fmt.Sprintf("%.1f", wall),
@@ -198,7 +212,13 @@ func PlanetScenario(r *Runner, spec PlanetSpec) (*Table, error) {
 				fmt.Sprintf("%d", res.WarmStarts),
 				fmt.Sprintf("%d", res.InstanceLivePeak),
 				fmt.Sprintf("%d", res.Unfinished),
-			})
+			}
+			if spec.Xfer.Enabled {
+				row = append(row,
+					fmt.Sprintf("%.1f", res.Xfer.CrossServerMB),
+					fmt.Sprintf("%.2f", res.Xfer.TransferSeconds))
+			}
+			t.Rows = append(t.Rows, row)
 		}
 	}
 	t.Notes = append(t.Notes,

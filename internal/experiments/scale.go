@@ -35,8 +35,13 @@ type ScaleSpec struct {
 	Replan float64
 	// Schedulers lists the algorithms to stress (default ESG, INFless,
 	// FaST-GShare — the adaptive planners; the offline ones add nothing
-	// to a hot-path stress).
+	// to a hot-path stress). With the transfer model on, the default
+	// widens to the full comparison set: data movement is where the
+	// placement policies diverge.
 	Schedulers []string
+	// Xfer enables and shapes the data-movement model (zero value: off,
+	// byte-identical to pre-fabric builds).
+	Xfer XferSpec
 }
 
 // DefaultScaleSpec returns the 256-node / 100×-load / 8-application
@@ -88,6 +93,7 @@ func (r *Runner) ScaleCell(name string, spec ScaleSpec) Cell {
 	if spec.Replan > 0 && spec.Replan != 1 {
 		c.Key += fmt.Sprintf("/replan%g", spec.Replan)
 	}
+	c.Key += spec.Xfer.keySuffix()
 	c.Trace = ScaleTrace(r.Seed, spec, len(apps))
 	c.Tune = func(cfg *controller.Config) {
 		cfg.Cluster = ScaleCluster(spec.Nodes)
@@ -104,6 +110,7 @@ func (r *Runner) ScaleCell(name string, spec ScaleSpec) Cell {
 			}
 			cfg.Quantum = q
 		}
+		spec.Xfer.tune(cfg)
 	}
 	return c
 }
@@ -129,19 +136,31 @@ func ScaleScenario(r *Runner, spec ScaleSpec) (*Table, error) {
 	if spec.Replan <= 0 {
 		spec.Replan = 1
 	}
+	spec.Xfer = spec.Xfer.Defaulted()
 	if len(spec.Schedulers) == 0 {
-		spec.Schedulers = DefaultScaleSpec().Schedulers
+		if spec.Xfer.Enabled {
+			spec.Schedulers = Comparison
+		} else {
+			spec.Schedulers = DefaultScaleSpec().Schedulers
+		}
 	}
 	title := fmt.Sprintf("Scale stress: %d nodes, %g× heavy load, %d apps, %d requests",
 		spec.Nodes, spec.LoadFactor, len(workflow.ScaleApps()), spec.Requests)
 	if spec.Replan != 1 {
 		title += fmt.Sprintf(", %g× re-plan pressure", spec.Replan)
 	}
+	if spec.Xfer.Enabled {
+		title += fmt.Sprintf(", transfers at PCIe %g / NIC %g MB/s",
+			spec.Xfer.PCIeMBps, spec.Xfer.NICMBps)
+	}
 	t := &Table{
 		ID:    "scale",
 		Title: title,
 		Columns: []string{"Scheduler", "Wall (s)", "Sim (s)", "Req/sim-s", "Hit rate",
 			"Tasks", "Forced", "Cold", "Warm", "Unfinished"},
+	}
+	if spec.Xfer.Enabled {
+		t.Columns = append(t.Columns, "Cross-MB", "Xfer (s)")
 	}
 	for _, name := range spec.Schedulers {
 		cell := r.ScaleCell(name, spec)
@@ -160,7 +179,7 @@ func ScaleScenario(r *Runner, spec ScaleSpec) (*Table, error) {
 			// recorder, and the only record count a streaming run has.
 			throughput = float64(res.TotalRecords) / res.SimTime.Seconds()
 		}
-		t.Rows = append(t.Rows, []string{
+		row := []string{
 			name,
 			fmt.Sprintf("%.1f", wall),
 			fmt.Sprintf("%.1f", res.SimTime.Seconds()),
@@ -171,7 +190,13 @@ func ScaleScenario(r *Runner, spec ScaleSpec) (*Table, error) {
 			fmt.Sprintf("%d", res.ColdStarts),
 			fmt.Sprintf("%d", res.WarmStarts),
 			fmt.Sprintf("%d", res.Unfinished),
-		})
+		}
+		if spec.Xfer.Enabled {
+			row = append(row,
+				fmt.Sprintf("%.1f", res.Xfer.CrossServerMB),
+				fmt.Sprintf("%.2f", res.Xfer.TransferSeconds))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
 		"wall readings are host-dependent; everything else is deterministic at a fixed seed",

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/esg-sched/esg/internal/cluster"
+	"github.com/esg-sched/esg/internal/controller"
+	"github.com/esg-sched/esg/internal/profile"
+)
+
+// XferSpec shapes the data-movement model for the scale-family scenarios:
+// per-invoker PCIe and cross-node NIC bandwidths plus the stage output
+// sizes that flow over them. The zero value keeps the model off, which is
+// byte-identical to pre-fabric builds at the same seed.
+type XferSpec struct {
+	// Enabled turns the topology model on. Off, the other fields are
+	// ignored and every cell runs the historical flat transfer model.
+	Enabled bool
+	// OutFactor sets each stage's output size as a multiple of the
+	// function's Table 3 input size (default 1).
+	OutFactor float64
+	// PCIeMBps is the per-invoker host-GPU PCIe bandwidth in MB/s
+	// (default 12000, roughly PCIe 4.0 x16; 0 = unconstrained).
+	PCIeMBps float64
+	// NICMBps is the per-invoker cross-node NIC bandwidth in MB/s
+	// (default 1250, a 10 GbE port; 0 = unconstrained).
+	NICMBps float64
+}
+
+// Defaulted fills the enabled spec's zero knobs with the defaults above; a
+// disabled spec collapses to the zero value so it can never leak knob
+// values into cache keys.
+func (x XferSpec) Defaulted() XferSpec {
+	if !x.Enabled {
+		return XferSpec{}
+	}
+	if x.OutFactor <= 0 {
+		x.OutFactor = 1
+	}
+	if x.PCIeMBps == 0 && x.NICMBps == 0 {
+		x.PCIeMBps = 12000
+		x.NICMBps = 1250
+	}
+	return x
+}
+
+// keySuffix carries every transfer knob in the cell key, so transfer runs
+// never alias flat-model results in the runner's cache.
+func (x XferSpec) keySuffix() string {
+	if !x.Enabled {
+		return ""
+	}
+	return fmt.Sprintf("/xfer/pcie%g/nic%g/out%g", x.PCIeMBps, x.NICMBps, x.OutFactor)
+}
+
+// tune applies the spec to a cell config: topology bandwidths on the
+// cluster (cluster.New attaches the fabric) and profiled output sizes on
+// the registry. It must run after the cell's own Tune has set cfg.Cluster.
+func (x XferSpec) tune(cfg *controller.Config) {
+	if !x.Enabled {
+		return
+	}
+	cfg.Cluster.Topology = cluster.Topology{PCIeMBps: x.PCIeMBps, NICMBps: x.NICMBps}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = profile.Table3Registry()
+	}
+	cfg.Registry = reg.WithOutputFactor(x.OutFactor)
+}

@@ -39,6 +39,11 @@ type Export struct {
 	// fault-free exports are byte-identical to pre-fault-engine ones.
 	Faults *FaultExport `json:"faults,omitempty"`
 
+	// Xfer is present only when the data-movement model charged
+	// something, so zero-transfer exports are byte-identical to
+	// pre-fabric ones.
+	Xfer *XferExport `json:"xfer,omitempty"`
+
 	OverheadMS OverheadStats `json:"overhead_ms"`
 	PerApp     []AppExport   `json:"per_app"`
 }
@@ -60,6 +65,15 @@ type FaultExport struct {
 	LostWorkSeconds   float64 `json:"lost_work_s"`
 	MeanRecoveryS     float64 `json:"mean_recovery_s"`
 	DowntimeSeconds   float64 `json:"downtime_s"`
+}
+
+// XferExport is the JSON projection of a run's modeled data movement.
+type XferExport struct {
+	Hops            int     `json:"hops"`
+	CrossServer     int     `json:"cross_server"`
+	CrossServerMB   float64 `json:"cross_server_mb"`
+	LocalFraction   float64 `json:"local_fraction"`
+	TransferSeconds float64 `json:"transfer_s"`
 }
 
 // OverheadStats is the box summary of scheduling overheads.
@@ -131,6 +145,15 @@ func (r *Result) ToExport(includeSeries bool) Export {
 			LostWorkSeconds:   f.LostWorkSeconds,
 			MeanRecoveryS:     f.MeanRecoveryS(),
 			DowntimeSeconds:   f.DowntimeSeconds,
+		}
+	}
+	if x := r.Xfer; x.Any() {
+		e.Xfer = &XferExport{
+			Hops:            x.Hops,
+			CrossServer:     x.CrossServer,
+			CrossServerMB:   x.CrossServerMB,
+			LocalFraction:   x.LocalFraction(),
+			TransferSeconds: x.TransferSeconds,
 		}
 	}
 	for _, a := range r.PerApp {

@@ -101,6 +101,10 @@ type Result struct {
 	// fault-free run).
 	Faults FaultStats
 
+	// Xfer aggregates the data-movement model's outcomes (all zero when
+	// the transfer topology is disabled).
+	Xfer XferStats
+
 	UtilCPU float64
 	UtilGPU float64
 	SimTime time.Duration
@@ -138,6 +142,36 @@ type FaultStats struct {
 // Any reports whether any fault was injected or suffered.
 func (f FaultStats) Any() bool {
 	return f != FaultStats{}
+}
+
+// XferStats aggregates a run's modeled data movement: how many inter-stage
+// handoffs were charged on the event heap, how many (and how much) crossed
+// servers, and the total simulated time tasks spent waiting on transfers.
+type XferStats struct {
+	// Hops counts modeled predecessor→invoker handoffs (one per job and
+	// incoming edge of each dispatched task).
+	Hops int
+	// CrossServer counts the hops whose producer ran on a different
+	// invoker than the consumer; CrossServerMB sums their payloads.
+	CrossServer   int
+	CrossServerMB float64
+	// TransferSeconds sums the transfer time charged to dispatched tasks
+	// (each task is charged its slowest hop — fetches run in parallel).
+	TransferSeconds float64
+}
+
+// Any reports whether the data-movement model charged anything.
+func (x XferStats) Any() bool {
+	return x != XferStats{}
+}
+
+// LocalFraction returns the fraction of hops that stayed on the producer's
+// invoker — the figure ESG_Dispatch's locality policy is judged on.
+func (x XferStats) LocalFraction() float64 {
+	if x.Hops == 0 {
+		return 0
+	}
+	return float64(x.Hops-x.CrossServer) / float64(x.Hops)
 }
 
 // MeanRecoveryS returns the mean invoker downtime in seconds (the run's
@@ -207,6 +241,13 @@ func (r *Result) Summary() string {
 			f.ColdStartFailures, f.StragglersKilled, f.Retries, f.DroppedJobs,
 			f.FailedInstances, f.LostWorkSeconds, f.MeanRecoveryS(), r.Goodput())
 	}
+	// Likewise the transfer section: only emitted when the data-movement
+	// model charged something, so zero-transfer summaries stay
+	// byte-identical to runs without the fabric.
+	if x := r.Xfer; x.Any() {
+		s += fmt.Sprintf(" xfer=[hops=%d local=%.1f%% crossMB=%.1f time=%.2fs]",
+			x.Hops, 100*x.LocalFraction(), x.CrossServerMB, x.TransferSeconds)
+	}
 	return s
 }
 
@@ -228,6 +269,7 @@ type Collector struct {
 
 	cache  PlanCacheCounters
 	faults FaultStats
+	xfer   XferStats
 }
 
 // PlanCacheCounters carries a scheduler's memoized-search counters into
@@ -337,6 +379,16 @@ func (c *Collector) RecordTaskFault(transientFail, coldFail, straggler bool, los
 	c.faults.LostWorkSeconds += lost.Seconds()
 }
 
+// RecordTransfer notes one dispatched task's modeled data movement: hops
+// predecessor handoffs, of which cross crossed servers moving crossMB
+// megabytes, charged as d of transfer time (the task's slowest hop).
+func (c *Collector) RecordTransfer(hops, cross int, crossMB float64, d time.Duration) {
+	c.xfer.Hops += hops
+	c.xfer.CrossServer += cross
+	c.xfer.CrossServerMB += crossMB
+	c.xfer.TransferSeconds += d.Seconds()
+}
+
 // RecordRetries notes n jobs re-enqueued after a failed task.
 func (c *Collector) RecordRetries(n int) { c.faults.Retries += n }
 
@@ -363,6 +415,7 @@ func (c *Collector) Finalize(coldStarts, warmStarts, unfinished int, utilCPU, ut
 		PlanCacheEvictions:     c.cache.Evictions,
 		PlanCacheInvalidations: c.cache.Invalidations,
 		Faults:                 c.faults,
+		Xfer:                   c.xfer,
 		Unfinished:             unfinished,
 		UtilCPU:                utilCPU,
 		UtilGPU:                utilGPU,

@@ -36,6 +36,12 @@ type Function struct {
 	// InputMB is the input payload size in megabytes (Table 3), used by
 	// the data-transfer model.
 	InputMB float64
+	// OutputMB is the output payload size in megabytes — what a successor
+	// stage must move before it can start. Zero (the Table 3 default)
+	// keeps inter-stage payloads out of the topology-based transfer
+	// model; Registry.WithOutputFactor derives non-zero sizes from the
+	// measured inputs.
+	OutputMB float64
 	// CPUFraction is the fraction of BaseExec spent on CPU work.
 	CPUFraction float64
 	// ParallelFrac is the Amdahl parallel fraction of the CPU part.
@@ -63,6 +69,8 @@ func (f *Function) Validate() error {
 		return fmt.Errorf("profile: %s: batch slopes must be non-negative", f.Name)
 	case f.InputMB < 0:
 		return fmt.Errorf("profile: %s: InputMB must be non-negative", f.Name)
+	case f.OutputMB < 0:
+		return fmt.Errorf("profile: %s: OutputMB must be non-negative", f.Name)
 	}
 	return nil
 }

@@ -111,6 +111,24 @@ func (r *Registry) MustLookup(name string) *Function {
 	return f
 }
 
+// WithOutputFactor returns a copy of the registry whose functions carry
+// OutputMB = factor × InputMB wherever no output size was measured
+// (OutputMB == 0). DNN pipeline stages emit intermediates proportional to
+// their inputs (feature maps, masks, upscaled frames), so the factor is
+// the one knob the transfer-enabled scenarios scale payloads with. The
+// receiver is never mutated: Table 3's shared registry stays pristine.
+func (r *Registry) WithOutputFactor(factor float64) *Registry {
+	fns := make([]*Function, 0, len(r.order))
+	for _, name := range r.order {
+		f := *r.byName[name]
+		if f.OutputMB == 0 {
+			f.OutputMB = factor * f.InputMB
+		}
+		fns = append(fns, &f)
+	}
+	return MustRegistry(fns...)
+}
+
 // Names returns the registered names in insertion order.
 func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
 

@@ -11,13 +11,14 @@ import (
 // QueueKey returns the hash key identifying an AFW queue's function for
 // home-invoker selection: the (application, function) pair, mirroring
 // OpenWhisk's (namespace, action) hashing (§2). Queues built by
-// queue.NewAFW carry the key precomputed; hand-assembled ones fall back to
-// formatting it.
+// queue.NewAFW carry the key precomputed; hand-assembled ones resolve it
+// on first use and cache it on the queue, so repeat placements never
+// re-format (and re-hash) the same string.
 func QueueKey(q *queue.AFW) string {
-	if q.Key != "" {
-		return q.Key
+	if q.Key == "" {
+		q.Key = queue.KeyFor(q.App, q.Stage)
 	}
-	return queue.KeyFor(q.App, q.Stage)
+	return q.Key
 }
 
 // LocalityPlace implements ESG_Dispatch's invoker selection (§3.4):
@@ -32,7 +33,11 @@ func LocalityPlace(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config
 	res := cfg.Resources()
 
 	// Preferred (locality) invoker: home for entry stages, predecessor of
-	// the most urgent job otherwise.
+	// the most urgent job otherwise. A predecessor invoker that crashed
+	// since running the stage is no data source anymore — its state is
+	// gone and it cannot host anything until it recovers — so the scan
+	// skips non-Up invokers instead of latching onto a dead one (a home
+	// invoker that is down is rejected by the CanFit checks below).
 	var preferred *cluster.Invoker
 	stage := q.App.Stage(q.Stage)
 	if len(stage.Preds) == 0 {
@@ -40,20 +45,30 @@ func LocalityPlace(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config
 	} else if len(jobs) > 0 {
 		inst := jobs[0].Instance
 		for _, p := range stage.Preds {
-			if inv := inst.StageInvoker(p); inv >= 0 {
+			if inv := inst.StageInvoker(p); inv >= 0 && env.Cluster.Invokers[inv].Up() {
 				preferred = env.Cluster.Invokers[inv]
 				break
 			}
 		}
 	}
 
-	// A warm start dwarfs any transfer saving (cold starts run seconds,
-	// transfers milliseconds), so: preferred-and-warm, then any warm,
-	// then preferred-cold, then the most-free cold invoker.
+	// Preferred-and-warm is unconditionally best: no transfer, no cold
+	// start. After that, a warm start elsewhere usually dwarfs any
+	// transfer saving (cold starts run seconds, transfers milliseconds) —
+	// but "usually" is a modeled comparison once the data-movement fabric
+	// is on: when hauling the predecessor's output to the remote warm
+	// invoker is expected to cost more than cold-starting next to the
+	// data, the data-local cold invoker wins. With the fabric off the
+	// historical fixed order (any warm, then preferred-cold, then the
+	// most-free cold invoker) applies byte for byte.
 	if preferred != nil && preferred.CanFit(res) && preferred.HasIdleWarm(q.FnID, now) {
 		return preferred
 	}
 	if inv := env.Cluster.FirstWarmFit(q.FnID, now, res); inv != nil {
+		if preferred != nil && inv != preferred && preferred.CanFit(res) &&
+			localColdBeatsRemoteWarm(env, q, preferred, inv, now) {
+			return preferred
+		}
 		return inv
 	}
 	if preferred != nil && preferred.CanFit(res) {
@@ -63,6 +78,29 @@ func LocalityPlace(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config
 		return inv
 	}
 	return nil
+}
+
+// localColdBeatsRemoteWarm weighs ESG_Dispatch's two ways of running a
+// non-entry stage when its predecessor invoker holds the data but no warm
+// container: cold-start next to the data (pay the cold start plus a local
+// PCIe hop) or start warm remotely (pay the cross-node transfer of the
+// predecessor payload under current link contention). It returns true only
+// when the data-movement fabric is enabled and the modeled local path is
+// strictly cheaper; with the fabric off it always returns false, keeping
+// the historical warm-beats-transfer ordering.
+func localColdBeatsRemoteWarm(env *Env, q *queue.AFW, preferred, warmInv *cluster.Invoker, now time.Duration) bool {
+	fab := env.Cluster.Fabric
+	if fab == nil {
+		return false
+	}
+	payload := q.App.PredPayloadMB(q.Stage, env.Registry)
+	if payload <= 0 {
+		return false
+	}
+	remote := fab.Estimate(payload, preferred.ID, warmInv.ID, now)
+	local := env.Registry.MustLookup(q.Function).ColdStart +
+		fab.Estimate(payload, preferred.ID, preferred.ID, now)
+	return local < remote
 }
 
 // FragmentationPlace implements the INFless/FaST-GShare node selection

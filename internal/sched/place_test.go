@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/cluster"
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/queue"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+// placeEnv builds a minimal placement environment over the given apps and
+// cluster config — LocalityPlace touches only the cluster and registry.
+func placeEnv(t *testing.T, cfg cluster.Config, reg *profile.Registry, apps []*workflow.App) (*Env, *queue.Set) {
+	t.Helper()
+	clu := cluster.MustNew(cfg)
+	env := &Env{Registry: reg, Cluster: clu, Apps: apps}
+	qs := queue.NewSet(apps)
+	qs.Bind(clu)
+	return env, qs
+}
+
+// TestLocalityPlaceSkipsCrashedPredecessor is the chaos regression for the
+// preferred-invoker scan: an invoker that crashed after running the
+// predecessor stage holds no data and can host nothing, so placement must
+// move on instead of latching onto it.
+func TestLocalityPlaceSkipsCrashedPredecessor(t *testing.T) {
+	env, qs := testEnv(t)
+	q := qs.Get(0, 1)
+	inst := queue.NewInstance(0, 0, env.Apps[0], 0, time.Second)
+	pred := env.Cluster.Invokers[9]
+	inst.CompleteStage(0, pred.ID, time.Millisecond)
+	pred.Crash(2 * time.Millisecond)
+	warm := env.Cluster.Invokers[5]
+	warm.AddWarm(q.FnID, 0)
+
+	jobs := []*queue.Job{{Instance: inst, Stage: 1}}
+	got := LocalityPlace(env, q, jobs, profile.Config{Batch: 1, CPU: 2, GPU: 1}, 3*time.Millisecond)
+	if got == nil {
+		t.Fatal("no placement found")
+	}
+	if !got.Up() || got == pred {
+		t.Fatalf("placed on the crashed invoker %d", got.ID)
+	}
+	if got != warm {
+		t.Errorf("placed on %d, want the warm invoker %d", got.ID, warm.ID)
+	}
+}
+
+// TestLocalityPlaceFallsBackToLivePredecessor pins the DAG case: with two
+// predecessor stages, a crashed first predecessor must not shadow the live
+// second one — the live predecessor's invoker is still a data source.
+func TestLocalityPlaceFallsBackToLivePredecessor(t *testing.T) {
+	b := workflow.NewBuilder("diamond")
+	entry := b.Stage(profile.SuperResolution)
+	left := b.Stage(profile.Deblur)
+	right := b.Stage(profile.Segmentation)
+	join := b.Stage(profile.Classification)
+	b.Edge(entry, left).Edge(entry, right).Edge(left, join).Edge(right, join)
+	app := b.MustBuild()
+
+	env, qs := placeEnv(t, cluster.DefaultConfig(), profile.Table3Registry(), []*workflow.App{app})
+	q := qs.Get(0, join)
+	inst := queue.NewInstance(0, 0, app, 0, time.Second)
+	inst.CompleteStage(entry, 1, time.Millisecond)
+	inst.CompleteStage(left, 3, time.Millisecond)
+	inst.CompleteStage(right, 7, time.Millisecond)
+	env.Cluster.Invokers[3].Crash(2 * time.Millisecond)
+
+	jobs := []*queue.Job{{Instance: inst, Stage: join}}
+	got := LocalityPlace(env, q, jobs, profile.Config{Batch: 1, CPU: 2, GPU: 1}, 3*time.Millisecond)
+	if got == nil || got.ID != 7 {
+		t.Errorf("placed on %v, want the live predecessor invoker 7", got)
+	}
+}
+
+// TestLocalityPlaceModeledTransferComparison exercises the data-movement
+// fold-in: with the fabric on, a remote warm start whose modeled transfer
+// dwarfs the cold start loses to cold-starting next to the data — and wins
+// again once the links are fast enough for the transfer to be cheap.
+func TestLocalityPlaceModeledTransferComparison(t *testing.T) {
+	place := func(nicMBps float64) (got, pred, warm *cluster.Invoker) {
+		cfg := cluster.DefaultConfig()
+		cfg.Topology = cluster.Topology{PCIeMBps: 12000, NICMBps: nicMBps}
+		reg := profile.Table3Registry().WithOutputFactor(1)
+		env, qs := placeEnv(t, cfg, reg, workflow.EvaluationApps())
+		q := qs.Get(0, 1)
+		inst := queue.NewInstance(0, 0, env.Apps[0], 0, time.Second)
+		pred = env.Cluster.Invokers[9]
+		inst.CompleteStage(0, pred.ID, time.Millisecond)
+		warm = env.Cluster.Invokers[5]
+		warm.AddWarm(q.FnID, 0)
+		jobs := []*queue.Job{{Instance: inst, Stage: 1}}
+		got = LocalityPlace(env, q, jobs, profile.Config{Batch: 1, CPU: 2, GPU: 1}, 2*time.Millisecond)
+		return got, pred, warm
+	}
+
+	// At 0.001 MB/s hauling 2.7 MB cross-node takes ~45 minutes; the
+	// multi-second segmentation cold start next to the data wins.
+	if got, pred, _ := place(0.001); got != pred {
+		t.Errorf("slow NIC: placed on %d, want the data-local cold invoker %d", got.ID, pred.ID)
+	}
+	// At 12500 MB/s the transfer is sub-millisecond; the historical
+	// warm-beats-transfer ordering must reassert itself.
+	if got, _, warm := place(12500); got != warm {
+		t.Errorf("fast NIC: placed on %d, want the remote warm invoker %d", got.ID, warm.ID)
+	}
+}
+
+// TestQueueKeyResolvesAndCaches pins the lazy key path: a queue without a
+// precomputed key resolves it once and stores it, so repeat placements
+// reuse the cached string.
+func TestQueueKeyResolvesAndCaches(t *testing.T) {
+	_, qs := testEnv(t)
+	q := qs.Get(0, 1)
+	want := queue.KeyFor(q.App, q.Stage)
+	q.Key = ""
+	if got := QueueKey(q); got != want {
+		t.Errorf("QueueKey = %q, want %q", got, want)
+	}
+	if q.Key != want {
+		t.Errorf("key not cached on the queue: %q", q.Key)
+	}
+}

@@ -52,6 +52,38 @@ func (e *Env) StageTable(appIndex, stage int) *profile.FunctionTable {
 // locality policy makes local the common case.
 func (e *Env) HopTransfer() time.Duration { return e.Cluster.Cfg.LocalTransfer }
 
+// GroupHop returns the expected per-edge transfer time a plan search
+// should fold into path estimates for the given group sequence of an
+// application's stages. With the data-movement topology disabled it is
+// exactly HopTransfer. With it enabled, each edge still assumes the
+// optimistic data-local placement (the locality policy makes local the
+// common case) but pays the producer's output payload over the consumer's
+// PCIe link, averaged over the sequence's edges so the search's uniform
+// per-hop constant reflects the group it prices.
+//
+// GroupHop deliberately reads only static configuration (topology
+// bandwidths, profiled output sizes) — never live fleet or fabric state —
+// so Plan stays a deterministic function of queue coordinates and remains
+// safe for concurrent planning and plan caching (the hop value is part of
+// the cache key).
+func (e *Env) GroupHop(appIndex int, stages []int) time.Duration {
+	base := e.HopTransfer()
+	t := e.Cluster.Cfg.Topology
+	if !t.Enabled() || t.PCIeMBps <= 0 || len(stages) < 2 {
+		return base
+	}
+	app := e.Apps[appIndex]
+	var total float64
+	for _, s := range stages[:len(stages)-1] {
+		total += app.StageOutputMB(s, e.Registry)
+	}
+	mean := total / float64(len(stages)-1)
+	if mean <= 0 {
+		return base
+	}
+	return base + time.Duration(mean/t.PCIeMBps*float64(time.Second))
+}
+
 // Plan is a scheduler's proposal for the head of one AFW queue: a ranked
 // list of candidate configurations (ESG's "configuration priority queue",
 // §3.1). The dispatcher tries candidates in order until one fits on an

@@ -18,6 +18,9 @@ type Engine struct {
 	queue []event
 	// Processed counts executed events (diagnostics).
 	Processed uint64
+	// Transfers counts data-movement events scheduled via Transfer
+	// (diagnostics; zero whenever the transfer model is disabled).
+	Transfers uint64
 
 	// frozen, when non-empty, names a parallel window during which no
 	// event may be scheduled (see Freeze). The engine itself is strictly
@@ -90,6 +93,15 @@ func (e *Engine) After(d time.Duration, fn func()) {
 		d = 0
 	}
 	e.At(e.now+d, fn)
+}
+
+// Transfer schedules fn to run when a data movement of duration d
+// completes: the handoff occupies time on the event heap like any other
+// event, and the engine counts it so runs can assert how much of the
+// schedule was spent moving data. Ordering semantics are exactly After's.
+func (e *Engine) Transfer(d time.Duration, fn func()) {
+	e.Transfers++
+	e.After(d, fn)
 }
 
 // Step executes the next event; it reports false when the queue is empty.

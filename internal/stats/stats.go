@@ -22,9 +22,11 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// StdDev returns the population standard deviation of xs.
+// StdDev returns the population standard deviation of xs (0 for empty
+// input). A single sample is not special-cased: the population formula is
+// defined for n=1 and yields 0 through the same code path.
 func StdDev(xs []float64) float64 {
-	if len(xs) < 2 {
+	if len(xs) == 0 {
 		return 0
 	}
 	m := Mean(xs)

@@ -24,6 +24,28 @@ func TestMeanAndStdDev(t *testing.T) {
 	}
 }
 
+func TestStdDevEdgeCases(t *testing.T) {
+	// Pins the guard at len == 0 only: a single sample goes through the
+	// population formula (which yields 0 for n=1) instead of being
+	// special-cased away with the empty input.
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{42}, 0},
+		{"pair", []float64{1, 3}, 1},
+		{"constant", []float64{5, 5, 5, 5}, 0},
+		{"known", []float64{2, 4, 4, 4, 5, 5, 7, 9}, 2},
+	}
+	for _, c := range cases {
+		if got := StdDev(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: StdDev = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{5, 1, 3, 2, 4}
 	cases := []struct{ p, want float64 }{

@@ -61,6 +61,24 @@ func (a *App) FunctionNames() []string {
 	return out
 }
 
+// StageOutputMB returns the output payload (in MB) a stage hands each of
+// its successors, resolved from the registry's function profiles — the
+// per-edge unit of the data-movement model.
+func (a *App) StageOutputMB(stage int, reg *profile.Registry) float64 {
+	return reg.MustLookup(a.Stage(stage).Function).OutputMB
+}
+
+// PredPayloadMB sums the payloads a stage must collect from its
+// predecessors before it can start: one StageOutputMB per incoming edge.
+// Entry stages collect nothing (their input arrives with the request).
+func (a *App) PredPayloadMB(stage int, reg *profile.Registry) float64 {
+	var total float64
+	for _, p := range a.Stage(stage).Preds {
+		total += a.StageOutputMB(p, reg)
+	}
+	return total
+}
+
 // BaselineLatency returns L: the critical-path latency of the workflow when
 // every stage runs at the minimum configuration (1 vCPU, 1 vGPU, batch 1),
 // alone and warm. SLOs are defined as multiples of L (§4.1).
