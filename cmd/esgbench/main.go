@@ -113,6 +113,17 @@ func main() {
 	scaleSpec = experiments.ScaleSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Replan: opts.Replan, Xfer: xferSpec}
 	faultSpec = opts.FaultSpec()
 	planetSpec = experiments.PlanetSpec{Nodes: opts.Nodes, LoadFactor: opts.Load, Requests: opts.Requests, Arrival: opts.Arrival, Xfer: xferSpec}
+	if opts.Sched != "" {
+		scheds, err := experiments.ParseSchedulers(opts.Sched)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esgbench: -sched: %v (run esgbench -h for flags)\n", err)
+			os.Exit(2)
+		}
+		// An empty Schedulers list selects the scenario's default grid, so
+		// the override only applies when -sched names at least one.
+		scaleSpec.Schedulers = scheds
+		planetSpec.Schedulers = scheds
+	}
 	var progress io.Writer = os.Stderr
 	if opts.Quiet {
 		progress = nil

@@ -33,6 +33,7 @@ type Options struct {
 	Requests     int
 	Replan       float64
 	Arrival      string
+	Sched        string
 	CPUProfile   string
 
 	// Chaos-scenario fault knobs (valid only with -scenario chaos; all
@@ -91,6 +92,7 @@ func NewFlagSet(o *Options) *flag.FlagSet {
 	fs.IntVar(&o.Requests, "requests", 0, "scale/chaos/planet scenario: request count (default 30000 x -scale; planet 1000000 x -scale)")
 	fs.Float64Var(&o.Replan, "replan", 0, "scale/chaos scenario: re-plan pressure multiplier — divides the 2ms scheduling quantum so queues are re-planned that much more often (default 1)")
 	fs.StringVar(&o.Arrival, "arrival", "", "planet scenario: arrival shape — uniform, diurnal, burst or multitenant (empty runs the three shaped processes)")
+	fs.StringVar(&o.Sched, "sched", "", "scale/chaos/planet scenario: comma-separated scheduler list overriding the scenario's default set — ESG, ESG-noshare, ESG-nobatch, INFless, FaST-GShare, Orion, Aquatope, GSwarm, HAS-GPU (empty keeps the default grid)")
 	fs.DurationVar(&o.MTBF, "mtbf", 0, "chaos scenario: mean time between invoker crashes, exponentially distributed per invoker (0 = no crashes)")
 	fs.DurationVar(&o.MTTR, "mttr", 0, "chaos scenario: mean invoker recovery time (default 10s when -mtbf is set)")
 	fs.Float64Var(&o.TaskFail, "taskfail", 0, "chaos scenario: per-task transient failure probability in [0,1]")
@@ -136,6 +138,21 @@ func (o *Options) Validate() error {
 	}
 	if o.Scenario == "planet" && o.Replan != 0 {
 		return fmt.Errorf("-replan applies to -scenario scale/chaos, not planet")
+	}
+	if o.Sched != "" {
+		switch o.Scenario {
+		case "scale", "chaos", "planet":
+		default:
+			return fmt.Errorf("-sched requires -scenario scale, chaos or planet")
+		}
+		// Name resolution (aliases, duplicates) lives with the scheduler
+		// registry in internal/experiments; here we only reject a list
+		// that is structurally empty, which every resolver would.
+		for _, name := range strings.Split(o.Sched, ",") {
+			if strings.TrimSpace(name) == "" {
+				return fmt.Errorf("-sched: empty scheduler name in list %q", o.Sched)
+			}
+		}
 	}
 	if o.Nodes < 0 {
 		return fmt.Errorf("-nodes must be >= 0 (0 selects the default), got %d", o.Nodes)

@@ -52,7 +52,8 @@ func TestUsageTextCoversEveryFlag(t *testing.T) {
 	fs := NewFlagSet(&o)
 	for _, name := range []string{"seed", "scale", "parallel", "plancache", "baselinememo",
 		"overhead", "quiet", "scenario", "nodes", "load", "requests", "replan", "arrival",
-		"cpuprofile", "mtbf", "mttr", "taskfail", "coldfail", "straggler", "stragglerfactor"} {
+		"sched", "cpuprofile", "mtbf", "mttr", "taskfail", "coldfail", "straggler",
+		"stragglerfactor"} {
 		if !strings.Contains(text, "-"+name) {
 			t.Errorf("usage text missing flag -%s", name)
 		}
@@ -88,6 +89,10 @@ func TestValidate(t *testing.T) {
 		{"-scenario", "planet", "-arrival", "diurnal"},
 		{"-scenario", "planet", "-arrival", "Burst"}, // ParseShape is case-insensitive
 		{"-scenario", "planet", "-nodes", "4096", "-load", "40", "-requests", "2000000"},
+		{"-scenario", "scale", "-sched", "GSwarm"},
+		{"-scenario", "scale", "-sched", "ESG,GSwarm,HAS-GPU"},
+		{"-scenario", "chaos", "-sched", "HAS-GPU"},
+		{"-scenario", "planet", "-sched", "ESG,INFless"},
 	}
 	for _, args := range good {
 		if err := parse(t, args...); err != nil {
@@ -114,6 +119,11 @@ func TestValidate(t *testing.T) {
 		"unknown arrival shape":     {"-scenario", "planet", "-arrival", "sawtooth"},
 		"replan on planet":          {"-scenario", "planet", "-replan", "2"},
 		"chaos knob on planet":      {"-scenario", "planet", "-mtbf", "2s"},
+		"sched on paper default":    {"-sched", "GSwarm"},
+		"sched on paper explicit":   {"-scenario", "paper", "-sched", "ESG"},
+		"sched with empty element":  {"-scenario", "scale", "-sched", "ESG,,GSwarm"},
+		"sched trailing comma":      {"-scenario", "scale", "-sched", "ESG,"},
+		"sched only whitespace":     {"-scenario", "scale", "-sched", " "},
 	}
 	for name, args := range bad {
 		if err := parse(t, args...); err == nil {

@@ -14,6 +14,8 @@ import (
 
 	"github.com/esg-sched/esg/internal/baselines/aquatope"
 	"github.com/esg-sched/esg/internal/baselines/fastgshare"
+	"github.com/esg-sched/esg/internal/baselines/gswarm"
+	"github.com/esg-sched/esg/internal/baselines/hasgpu"
 	"github.com/esg-sched/esg/internal/baselines/infless"
 	"github.com/esg-sched/esg/internal/baselines/orion"
 	"github.com/esg-sched/esg/internal/core"
@@ -31,11 +33,54 @@ const (
 	FaSTGShare = "FaST-GShare"
 	Orion      = "Orion"
 	Aquatope   = "Aquatope"
+	GSwarm     = "GSwarm"
+	HASGPU     = "HAS-GPU"
 )
 
 // Comparison lists the five schedulers of the paper's evaluation in its
 // reporting order.
 var Comparison = []string{ESG, INFless, FaSTGShare, Orion, Aquatope}
+
+// KnownSchedulers lists every scheduler NewScheduler accepts, by canonical
+// name, in reporting order: the paper's five-scheduler comparison plus the
+// two ESG ablations and the two extension baselines (GSwarm static
+// placement, HAS-GPU hybrid auto-scaling).
+func KnownSchedulers() []string {
+	return []string{ESG, ESGNoShare, ESGNoBatch, INFless, FaSTGShare, Orion, Aquatope, GSwarm, HASGPU}
+}
+
+// ParseSchedulers resolves a comma-separated scheduler list (the -sched
+// flag) to canonical names, rejecting unknown names, empty elements and
+// duplicates. Matching is the same case-insensitive alias set NewScheduler
+// uses, so any list ParseSchedulers accepts is constructible.
+func ParseSchedulers(csv string) ([]string, error) {
+	canon := make(map[string]string)
+	for _, name := range KnownSchedulers() {
+		canon[strings.ToLower(name)] = name
+	}
+	canon["fastgshare"] = FaSTGShare // NewScheduler's alias
+	canon["hasgpu"] = HASGPU
+
+	var out []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			return nil, fmt.Errorf("experiments: empty scheduler name in list %q", csv)
+		}
+		c, ok := canon[strings.ToLower(name)]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown scheduler %q (known: %s)",
+				name, strings.Join(KnownSchedulers(), ", "))
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("experiments: duplicate scheduler %q", c)
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return out, nil
+}
 
 // Setting is one of the paper's three workload/SLO pairings (§4.1).
 type Setting struct {
@@ -88,6 +133,10 @@ func NewScheduler(name string, seed uint64) (sched.Scheduler, error) {
 		return orion.New(), nil
 	case "aquatope":
 		return aquatope.New(seed), nil
+	case "gswarm":
+		return gswarm.New(), nil
+	case "has-gpu", "hasgpu":
+		return hasgpu.New(), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
 	}

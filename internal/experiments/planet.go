@@ -6,6 +6,8 @@ import (
 
 	"github.com/esg-sched/esg/internal/baselines"
 	"github.com/esg-sched/esg/internal/baselines/fastgshare"
+	"github.com/esg-sched/esg/internal/baselines/gswarm"
+	"github.com/esg-sched/esg/internal/baselines/hasgpu"
 	"github.com/esg-sched/esg/internal/baselines/infless"
 	"github.com/esg-sched/esg/internal/controller"
 	"github.com/esg-sched/esg/internal/core"
@@ -87,6 +89,10 @@ func (m *planetMemos) attach(name string, s sched.Scheduler) {
 	case *infless.Scheduler:
 		sc.Splits = m.splits
 	case *fastgshare.Scheduler:
+		sc.Splits = m.splits
+	case *gswarm.Scheduler:
+		sc.Splits = m.splits
+	case *hasgpu.Scheduler:
 		sc.Splits = m.splits
 	}
 	if mu, ok := s.(interface{ SetPlanMemo(*baselines.Memo) }); ok {

@@ -74,7 +74,9 @@ func LocalityPlace(env *Env, q *queue.AFW, jobs []*queue.Job, cfg profile.Config
 	if preferred != nil && preferred.CanFit(res) {
 		return preferred
 	}
-	if inv := env.Cluster.MostFree(); inv.CanFit(res) {
+	// MostFree returns nil when the fleet index is empty (every invoker
+	// crashed); placement must report "none fits", not panic.
+	if inv := env.Cluster.MostFree(); inv != nil && inv.CanFit(res) {
 		return inv
 	}
 	return nil

@@ -123,3 +123,72 @@ func TestQueueKeyResolvesAndCaches(t *testing.T) {
 		t.Errorf("key not cached on the queue: %q", q.Key)
 	}
 }
+
+// TestLocalityPlaceAllInvokersDown pins the empty-fleet edge the
+// conformance suite surfaced: with every invoker crashed, MostFree returns
+// nil and placement must report "none fits" instead of dereferencing it.
+func TestLocalityPlaceAllInvokersDown(t *testing.T) {
+	env, qs := testEnv(t)
+	for _, inv := range env.Cluster.Invokers {
+		inv.Crash(0)
+	}
+	for _, stage := range []int{0, 1} { // home-invoker path and predecessor path
+		q := qs.Get(0, stage)
+		inst := queue.NewInstance(stage, 0, env.Apps[0], 0, time.Second)
+		for s := 0; s < stage; s++ {
+			inst.CompleteStage(s, 3, 0)
+		}
+		jobs := []*queue.Job{{Instance: inst, Stage: stage}}
+		if got := LocalityPlace(env, q, jobs, profile.MinConfig, time.Millisecond); got != nil {
+			t.Errorf("stage %d: placed on invoker %d with the whole fleet down", stage, got.ID)
+		}
+	}
+}
+
+// TestFragmentationPlaceAllInvokersDown: the best-fit index is empty when
+// every invoker crashed, so the fragmentation policy reports nil too.
+func TestFragmentationPlaceAllInvokersDown(t *testing.T) {
+	env, _ := testEnv(t)
+	for _, inv := range env.Cluster.Invokers {
+		inv.Crash(0)
+	}
+	if got := FragmentationPlace(env, profile.MinConfig); got != nil {
+		t.Errorf("placed on invoker %d with the whole fleet down", got.ID)
+	}
+}
+
+// TestLocalityPlaceSingleStageApp pins the single-stage DAG path: a
+// one-stage workflow has no predecessors, so its only locality signal is
+// the home invoker — which must be chosen while free and skipped (not
+// panicked over) once crashed.
+func TestLocalityPlaceSingleStageApp(t *testing.T) {
+	app := workflow.Chain("solo", profile.Classification)
+	env, qs := placeEnv(t, cluster.DefaultConfig(), profile.Table3Registry(), []*workflow.App{app})
+	q := qs.Get(0, 0)
+	home := env.Cluster.HomeInvoker(QueueKey(q))
+
+	inst := queue.NewInstance(0, 0, app, 0, time.Second)
+	jobs := []*queue.Job{{Instance: inst, Stage: 0}}
+	if got := LocalityPlace(env, q, jobs, profile.MinConfig, 0); got != home {
+		t.Errorf("placed on %d, want the home invoker %d", got.ID, home.ID)
+	}
+	home.Crash(0)
+	got := LocalityPlace(env, q, jobs, profile.MinConfig, time.Millisecond)
+	if got == nil {
+		t.Fatal("no placement with only the home invoker down")
+	}
+	if got == home || !got.Up() {
+		t.Errorf("placed on the crashed home invoker %d", got.ID)
+	}
+}
+
+// TestLocalityPlaceNoJobs: a later-stage placement probe with an empty
+// job slice has no most-urgent predecessor to consult; the warm and
+// most-free fallbacks must still answer.
+func TestLocalityPlaceNoJobs(t *testing.T) {
+	env, qs := testEnv(t)
+	q := qs.Get(0, 1)
+	if got := LocalityPlace(env, q, nil, profile.MinConfig, 0); got == nil {
+		t.Error("no placement for a later stage without jobs on an idle fleet")
+	}
+}

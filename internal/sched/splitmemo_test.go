@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/esg-sched/esg/internal/profile"
+	"github.com/esg-sched/esg/internal/workflow"
+)
+
+// TestSplitMemoMemoizes pins the memo contract: the first Split of a key
+// computes (a miss), repeats answer from the memo (hits) with the exact
+// same frozen slice, and distinct keys — other app, other SLO — compute
+// independently.
+func TestSplitMemoMemoizes(t *testing.T) {
+	reg := profile.Table3Registry()
+	apps := workflow.EvaluationApps()
+	m := NewSplitMemo()
+
+	first := m.Split(apps[0], reg, time.Second)
+	if want := MeanServiceSplit(apps[0], reg, time.Second); !reflect.DeepEqual(first, want) {
+		t.Fatalf("memoized split %v differs from MeanServiceSplit %v", first, want)
+	}
+	second := m.Split(apps[0], reg, time.Second)
+	if &first[0] != &second[0] {
+		t.Error("repeat Split returned a recomputed slice, want the memoized one")
+	}
+	m.Split(apps[1], reg, time.Second)   // other app: new key
+	m.Split(apps[0], reg, 2*time.Second) // other SLO: new key
+
+	if st := m.Stats(); st.Hits != 1 || st.Misses != 3 {
+		t.Errorf("stats = %+v, want 1 hit / 3 misses", st)
+	}
+}
+
+// TestSplitMemoFrozenSlice: handed-out splits have no spare capacity, so a
+// caller appending to one cannot corrupt the memoized entry.
+func TestSplitMemoFrozenSlice(t *testing.T) {
+	reg := profile.Table3Registry()
+	app := workflow.EvaluationApps()[0]
+	m := NewSplitMemo()
+
+	s := m.Split(app, reg, time.Second)
+	if cap(s) != len(s) {
+		t.Fatalf("split has spare capacity: len %d cap %d", len(s), cap(s))
+	}
+	_ = append(s, time.Hour) // must reallocate, not scribble on the entry
+	if got := m.Split(app, reg, time.Second); !reflect.DeepEqual(got, s) {
+		t.Errorf("memoized entry changed after caller append: %v", got)
+	}
+}
+
+// TestSplitMemoSingleStageApp: a single-stage DAG's split is the whole
+// SLO — the one-element proportional distribution.
+func TestSplitMemoSingleStageApp(t *testing.T) {
+	reg := profile.Table3Registry()
+	app := workflow.Chain("solo", profile.Classification)
+	m := NewSplitMemo()
+
+	got := m.Split(app, reg, time.Second)
+	if len(got) != 1 || got[0] != time.Second {
+		t.Errorf("single-stage split = %v, want [1s]", got)
+	}
+}
+
+// TestSplitMemoZeroSLO: a zero SLO distributes to all-zero budgets (every
+// stage infeasible) without dividing by zero or panicking.
+func TestSplitMemoZeroSLO(t *testing.T) {
+	reg := profile.Table3Registry()
+	app := workflow.EvaluationApps()[0]
+	m := NewSplitMemo()
+
+	got := m.Split(app, reg, 0)
+	if len(got) != app.Len() {
+		t.Fatalf("split has %d budgets, want %d", len(got), app.Len())
+	}
+	for i, d := range got {
+		if d != 0 {
+			t.Errorf("stage %d budget = %v, want 0", i, d)
+		}
+	}
+}
+
+// TestSplitMemoConcurrent races concurrent fills of the same and distinct
+// keys (run under -race): every caller must receive the identical split,
+// and the counters must account for every lookup.
+func TestSplitMemoConcurrent(t *testing.T) {
+	reg := profile.Table3Registry()
+	apps := workflow.EvaluationApps()
+	m := NewSplitMemo()
+
+	const callers = 8
+	got := make([][][]time.Duration, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, app := range apps {
+				got[c] = append(got[c], m.Split(app, reg, time.Second))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < callers; c++ {
+		if !reflect.DeepEqual(got[c], got[0]) {
+			t.Fatalf("caller %d saw different splits", c)
+		}
+	}
+	st := m.Stats()
+	if st.Hits+st.Misses != uint64(callers*len(apps)) {
+		t.Errorf("counters account for %d lookups, want %d", st.Hits+st.Misses, callers*len(apps))
+	}
+	if st.Misses < uint64(len(apps)) {
+		t.Errorf("misses = %d, want at least one per key (%d keys)", st.Misses, len(apps))
+	}
+}
